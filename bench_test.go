@@ -1,0 +1,393 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation,
+// plus the ablations of DESIGN.md §7 and micro-benchmarks of the substrate.
+//
+// Simulation benchmarks report two metrics: host ns/op (Go's default, the
+// cost of running the simulator) and sim-cycles/op (the simulated SoC's
+// execution time, the number the paper's figures are about). Shape
+// assertions — who wins, by how much — live in the test suite; the benches
+// record the magnitudes.
+//
+// Run everything:  go test -bench=. -benchmem
+// One figure:      go test -bench=Fig8 -benchmem
+package pmc_test
+
+import (
+	"fmt"
+	"io"
+	"testing"
+
+	"pmc"
+	"pmc/internal/cache"
+	"pmc/internal/core"
+	"pmc/internal/litmus"
+	"pmc/internal/mem"
+	"pmc/internal/noc"
+	"pmc/internal/sim"
+	"pmc/internal/soc"
+	"pmc/internal/workloads"
+)
+
+// benchCfg is the benchmark system: 8 tiles keeps host time moderate while
+// preserving bus contention. Benches that need the paper's 32 tiles say so.
+func benchCfg(tiles int) soc.Config {
+	cfg := soc.DefaultConfig()
+	cfg.Tiles = tiles
+	return cfg
+}
+
+// runApp executes one workload run and reports simulated cycles.
+func runApp(b *testing.B, app func() workloads.App, tiles int, backend string) {
+	b.Helper()
+	var cycles sim.Time
+	for i := 0; i < b.N; i++ {
+		res, err := workloads.Run(app(), benchCfg(tiles), backend)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cycles = res.Cycles
+	}
+	b.ReportMetric(float64(cycles), "sim-cycles/op")
+}
+
+// ---- Table I / model ----
+
+// BenchmarkTable1ModelOps measures Table I rule application throughput: a
+// lock-disciplined op stream grown op by op.
+func BenchmarkTable1ModelOps(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		e := core.NewExecution()
+		x := e.AddLoc("X")
+		y := e.AddLoc("Y")
+		for k := 0; k < 50; k++ {
+			p := core.ProcID(k % 4)
+			e.Acquire(p, x)
+			e.Write(p, x, core.Value(k))
+			e.Release(p, x)
+			e.Fence(p)
+			e.Acquire(p, y)
+			e.Read(p, y, 0)
+			e.Release(p, y)
+		}
+	}
+}
+
+// ---- Figs. 1-6: litmus exploration ----
+
+func benchLitmus(b *testing.B, name string) {
+	prog, ok := litmus.ByName(name)
+	if !ok {
+		b.Fatalf("unknown program %s", name)
+	}
+	var states int
+	for i := 0; i < b.N; i++ {
+		res, err := litmus.Explore(prog)
+		if err != nil {
+			b.Fatal(err)
+		}
+		states = res.States
+	}
+	b.ReportMetric(float64(states), "states/op")
+}
+
+func BenchmarkFig1Litmus(b *testing.B)     { benchLitmus(b, "fig1-unsynchronized") }
+func BenchmarkFig5Fig6Litmus(b *testing.B) { benchLitmus(b, "fig5-annotated") }
+func BenchmarkLitmusSBDRF(b *testing.B)    { benchLitmus(b, "sb-drf") }
+
+// BenchmarkFig2to5Graphs regenerates the dependency-graph figures.
+func BenchmarkFig2to5Graphs(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, id := range []string{"fig2", "fig3", "fig4", "fig5"} {
+			if err := pmc.RunExperiment(io.Discard, id, pmc.ExpOptions{Scale: "small"}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// ---- Table II / Fig. 6: the annotation matrix ----
+
+// BenchmarkTable2MsgPass runs the annotated message-passing program on each
+// backend (the measured half of Table II).
+func BenchmarkTable2MsgPass(b *testing.B) {
+	for _, backend := range pmc.BackendNames() {
+		b.Run(backend, func(b *testing.B) {
+			runApp(b, func() workloads.App { return workloads.DefaultMsgPass() }, 4, backend)
+		})
+	}
+}
+
+// ---- Fig. 8: SPLASH-2 substitutes, noCC vs SWCC ----
+
+func fig8App(name string) func() workloads.App {
+	return func() workloads.App {
+		switch name {
+		case "radiosity":
+			a := workloads.DefaultRadiosity()
+			a.Patches, a.Rounds, a.Fanout = 48, 2, 3
+			return a
+		case "raytrace":
+			a := workloads.DefaultRaytrace()
+			a.Cells, a.Rays, a.StepsPerRay = 48, 40, 4
+			return a
+		default:
+			a := workloads.DefaultVolrend()
+			a.Bricks, a.OutTiles, a.RaysPerTile = 32, 24, 3
+			return a
+		}
+	}
+}
+
+func benchFig8(b *testing.B, app string) {
+	var cyc [2]sim.Time
+	for i, backend := range []string{"nocc", "swcc"} {
+		backend := backend
+		idx := i
+		b.Run(backend, func(b *testing.B) {
+			for n := 0; n < b.N; n++ {
+				res, err := workloads.Run(fig8App(app)(), benchCfg(8), backend)
+				if err != nil {
+					b.Fatal(err)
+				}
+				cyc[idx] = res.Cycles
+			}
+			b.ReportMetric(float64(cyc[idx]), "sim-cycles/op")
+			if backend == "swcc" && cyc[0] > 0 {
+				b.ReportMetric(100*(1-float64(cyc[1])/float64(cyc[0])), "improvement-%")
+			}
+		})
+	}
+}
+
+func BenchmarkFig8Radiosity(b *testing.B) { benchFig8(b, "radiosity") }
+func BenchmarkFig8Raytrace(b *testing.B)  { benchFig8(b, "raytrace") }
+func BenchmarkFig8Volrend(b *testing.B)   { benchFig8(b, "volrend") }
+
+// ---- Fig. 9: the FIFO across architectures ----
+
+func BenchmarkFig9Fifo(b *testing.B) {
+	for _, backend := range pmc.BackendNames() {
+		backend := backend
+		b.Run(backend, func(b *testing.B) {
+			fifo := workloads.DefaultMFifo()
+			fifo.Items = 32
+			items := float64(fifo.Writers * fifo.Items)
+			var res *workloads.Result
+			for i := 0; i < b.N; i++ {
+				f := *fifo
+				var err error
+				res, err = workloads.Run(&f, benchCfg(8), backend)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(res.Cycles)/items, "sim-cycles/item")
+			b.ReportMetric(float64(res.NoCMessages)/items, "noc-msgs/item")
+		})
+	}
+}
+
+// ---- Fig. 10: motion estimation across architectures ----
+
+func BenchmarkFig10Motion(b *testing.B) {
+	for _, backend := range []string{"nocc", "swcc", "spm"} {
+		backend := backend
+		b.Run(backend, func(b *testing.B) {
+			runApp(b, func() workloads.App {
+				a := workloads.DefaultMotionEst()
+				a.BlocksX, a.BlocksY = 4, 2
+				return a
+			}, 8, backend)
+		})
+	}
+}
+
+// ---- Ablations ----
+
+func BenchmarkAblationRelease(b *testing.B) {
+	for _, backend := range []string{"swcc", "swcc-lazy"} {
+		backend := backend
+		b.Run(backend, func(b *testing.B) {
+			runApp(b, func() workloads.App {
+				a := workloads.DefaultReacquire()
+				a.Iters = 32
+				return a
+			}, 8, backend)
+		})
+	}
+}
+
+func BenchmarkAblationLocks(b *testing.B) {
+	for _, kind := range []soc.LockKind{soc.LockDistributed, soc.LockCentralized} {
+		kind := kind
+		b.Run(kind.String(), func(b *testing.B) {
+			var cycles sim.Time
+			for i := 0; i < b.N; i++ {
+				cfg := benchCfg(8)
+				cfg.Locks = kind
+				app := workloads.DefaultReacquire()
+				app.Iters, app.CrossEvery = 40, 4
+				res, err := workloads.Run(app, cfg, "swcc")
+				if err != nil {
+					b.Fatal(err)
+				}
+				cycles = res.Cycles
+			}
+			b.ReportMetric(float64(cycles), "sim-cycles/op")
+		})
+	}
+}
+
+func BenchmarkAblationScaling(b *testing.B) {
+	for _, tiles := range []int{1, 4, 8, 16} {
+		tiles := tiles
+		b.Run(fmt.Sprintf("tiles-%d", tiles), func(b *testing.B) {
+			var cyc [2]sim.Time
+			for i := 0; i < b.N; i++ {
+				for j, backend := range []string{"nocc", "swcc"} {
+					ray := workloads.DefaultRaytrace()
+					ray.Cells, ray.Rays, ray.StepsPerRay = 48, 8*tiles, 4
+					res, err := workloads.Run(ray, benchCfg(tiles), backend)
+					if err != nil {
+						b.Fatal(err)
+					}
+					cyc[j] = res.Cycles
+				}
+			}
+			b.ReportMetric(100*(1-float64(cyc[1])/float64(cyc[0])), "swcc-gain-%")
+		})
+	}
+}
+
+// ---- Substrate micro-benchmarks ----
+
+func BenchmarkSimKernelEvents(b *testing.B) {
+	k := sim.New()
+	k.Spawn("p", func(p *sim.Proc) {
+		for i := 0; i < b.N; i++ {
+			p.Wait(1)
+		}
+	})
+	if err := k.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func BenchmarkCacheAccess(b *testing.B) {
+	ram := mem.NewRAM(0, 1<<20)
+	c := cache.New(cache.Config{Size: 8192, Ways: 2, LineSize: 32}, ram)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Read32(mem.Addr(i*4) % (1 << 19))
+	}
+}
+
+func BenchmarkModelReadVerification(b *testing.B) {
+	e := core.NewExecution()
+	x := e.AddLoc("X")
+	for k := 0; k < 40; k++ {
+		p := core.ProcID(k % 3)
+		e.Acquire(p, x)
+		e.Write(p, x, core.Value(k))
+		e.Release(p, x)
+	}
+	rd := e.Read(1, x, 39)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.ReadableValues(rd.ID)
+	}
+}
+
+func BenchmarkSoCUncachedRead(b *testing.B) {
+	sys, err := soc.New(benchCfg(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	tile := sys.Tiles[0]
+	sys.K.Spawn("p", func(p *sim.Proc) {
+		for i := 0; i < b.N; i++ {
+			tile.ReadShared32Uncached(p, 0x4000)
+		}
+	})
+	if err := sys.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// ---- Extensions ----
+
+func BenchmarkExtStencil(b *testing.B) {
+	for _, backend := range []string{"swcc", "dsm"} {
+		backend := backend
+		b.Run(backend, func(b *testing.B) {
+			runApp(b, func() workloads.App {
+				a := workloads.DefaultStencil()
+				a.Iters = 4
+				return a
+			}, 8, backend)
+		})
+	}
+}
+
+func BenchmarkExtPipeline(b *testing.B) {
+	for _, backend := range []string{"swcc", "dsm"} {
+		backend := backend
+		b.Run(backend, func(b *testing.B) {
+			runApp(b, func() workloads.App {
+				a := workloads.DefaultPipeline()
+				a.Frames = 16
+				return a
+			}, 4, backend)
+		})
+	}
+}
+
+func BenchmarkExtMeshTopology(b *testing.B) {
+	for _, topo := range []noc.Topology{noc.TopoRing, noc.TopoMesh} {
+		topo := topo
+		b.Run(topo.String(), func(b *testing.B) {
+			var flitHops uint64
+			for i := 0; i < b.N; i++ {
+				cfg := benchCfg(16)
+				cfg.NoC.Topology = topo
+				fifo := workloads.DefaultMFifo()
+				fifo.Items = 24
+				res, err := workloads.Run(fifo, cfg, "dsm")
+				if err != nil {
+					b.Fatal(err)
+				}
+				flitHops = res.FlitHops
+			}
+			b.ReportMetric(float64(flitHops), "flit-hops/op")
+		})
+	}
+}
+
+func BenchmarkExtScopedFenceModel(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		e := core.NewExecution()
+		x := e.AddLoc("X")
+		y := e.AddLoc("Y")
+		for k := 0; k < 30; k++ {
+			p := core.ProcID(k % 2)
+			e.Write(p, x, core.Value(k))
+			e.FenceLoc(p, x)
+			e.Acquire(p, y)
+			e.Release(p, y)
+		}
+	}
+}
+
+// BenchmarkVerifiedRun measures the cost of running a workload with the
+// formal-model recorder attached (the differential-testing mode).
+func BenchmarkVerifiedRun(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		app := workloads.DefaultMsgPass()
+		_, rec, err := workloads.RunVerified(app, benchCfg(3), "swcc")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := rec.Err(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,70 @@
+// Command pmclitmus exhaustively explores the outcomes of the paper's
+// litmus programs under the PMC memory model.
+//
+// Usage:
+//
+//	pmclitmus -list              list cataloged programs
+//	pmclitmus -prog fig5-annotated
+//	pmclitmus -all               explore every program
+//	pmclitmus -table1            print the ordering-rule table
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"pmc"
+)
+
+func explore(p pmc.LitmusProgram) error {
+	res, err := pmc.Explore(p)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s:\n%s\n", p.Name, res)
+	return nil
+}
+
+func main() {
+	var (
+		prog   = flag.String("prog", "", "program name to explore (see -list)")
+		all    = flag.Bool("all", false, "explore every cataloged program")
+		list   = flag.Bool("list", false, "list programs")
+		table1 = flag.Bool("table1", false, "print the Table I ordering rules")
+	)
+	flag.Parse()
+
+	switch {
+	case *table1:
+		fmt.Print(pmc.RenderTableI())
+		return
+	case *list:
+		fmt.Println("programs:")
+		for _, p := range pmc.LitmusCatalog() {
+			fmt.Printf("  %-24s %d threads\n", p.Name, len(p.Threads))
+		}
+		return
+	case *all:
+		for _, p := range pmc.LitmusCatalog() {
+			if err := explore(p); err != nil {
+				fmt.Fprintln(os.Stderr, "pmclitmus:", err)
+				os.Exit(1)
+			}
+		}
+		return
+	case *prog != "":
+		p, ok := pmc.LitmusByName(*prog)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "pmclitmus: unknown program %q\n", *prog)
+			os.Exit(1)
+		}
+		if err := explore(p); err != nil {
+			fmt.Fprintln(os.Stderr, "pmclitmus:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	flag.Usage()
+	os.Exit(2)
+}

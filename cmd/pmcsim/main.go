@@ -1,0 +1,106 @@
+// Command pmcsim reproduces the paper's tables and figures on the
+// simulated many-core SoC.
+//
+// Usage:
+//
+//	pmcsim -list                 list all experiments
+//	pmcsim -exp fig8             run one experiment (paper scale)
+//	pmcsim -exp fig8 -scale small -tiles 8
+//	pmcsim -all                  run every experiment in order
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"pmc"
+)
+
+func main() {
+	var (
+		expID    = flag.String("exp", "", "experiment ID to run (see -list)")
+		all      = flag.Bool("all", false, "run every experiment")
+		list     = flag.Bool("list", false, "list experiments")
+		tiles    = flag.Int("tiles", 0, "override tile count (0 = experiment default)")
+		scale    = flag.String("scale", "full", `scale: "full" (paper) or "small" (quick)`)
+		runApp   = flag.String("run", "", "run one workload (see -list) instead of an experiment")
+		backend  = flag.String("backend", "swcc", "backend for -run: "+strings.Join(pmc.BackendNames(), ", "))
+		traceOut = flag.String("trace", "", "with -run: write a Chrome-trace JSON of the run to this file")
+	)
+	flag.Parse()
+
+	switch {
+	case *list:
+		fmt.Println("experiments:")
+		for _, e := range pmc.Experiments() {
+			fmt.Printf("  %-22s %s\n", e.ID, e.Title)
+		}
+		fmt.Println("workloads (-run):")
+		for _, n := range pmc.AppNames() {
+			fmt.Printf("  %s\n", n)
+		}
+		return
+	case *runApp != "":
+		if err := runWorkload(*runApp, *backend, *tiles, *traceOut); err != nil {
+			fmt.Fprintln(os.Stderr, "pmcsim:", err)
+			os.Exit(1)
+		}
+		return
+	case *all:
+		opts := pmc.ExpOptions{Tiles: *tiles, Scale: *scale}
+		if err := pmc.RunAllExperiments(os.Stdout, opts); err != nil {
+			fmt.Fprintln(os.Stderr, "pmcsim:", err)
+			os.Exit(1)
+		}
+		return
+	case *expID != "":
+		opts := pmc.ExpOptions{Tiles: *tiles, Scale: *scale}
+		if err := pmc.RunExperiment(os.Stdout, *expID, opts); err != nil {
+			fmt.Fprintln(os.Stderr, "pmcsim:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	flag.Usage()
+	os.Exit(2)
+}
+
+// runWorkload executes one workload, optionally exporting a Chrome trace.
+func runWorkload(name, backend string, tiles int, traceOut string) error {
+	app, ok := pmc.AppByName(name)
+	if !ok {
+		return fmt.Errorf("unknown workload %q (have %s)", name, strings.Join(pmc.AppNames(), ", "))
+	}
+	cfg := pmc.DefaultConfig()
+	if tiles > 0 {
+		cfg.Tiles = tiles
+	}
+	var res *pmc.Result
+	var err error
+	if traceOut != "" {
+		var tr *pmc.Trace
+		res, tr, err = pmc.RunAppTraced(app, cfg, backend, 0)
+		if err != nil {
+			return err
+		}
+		f, ferr := os.Create(traceOut)
+		if ferr != nil {
+			return ferr
+		}
+		defer f.Close()
+		if werr := tr.WriteChrome(f); werr != nil {
+			return werr
+		}
+		fmt.Printf("trace: %d events -> %s (open in ui.perfetto.dev)\n", tr.Len(), traceOut)
+	} else {
+		res, err = pmc.RunApp(app, cfg, backend)
+		if err != nil {
+			return err
+		}
+	}
+	fmt.Printf("%s on %s, %d tiles: %d cycles, checksum %#x, utilization %.1f%%\n",
+		res.App, res.Backend, res.Tiles, res.Cycles, res.Checksum, 100*res.Utilization())
+	return nil
+}

@@ -1,0 +1,33 @@
+// FIFO streaming: the multiple-reader, multiple-writer FIFO of Fig. 9
+// driving a small streaming pipeline, compared across memory architectures.
+// On the DSM backend the read/write pointers are polled from local memory
+// only, so the FIFO's control traffic does not load the interconnect — the
+// property Section VI-B highlights for streaming applications.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pmc"
+)
+
+func main() {
+	fmt.Println("multi-reader/multi-writer FIFO (Fig. 9): 2 writers -> 2 readers, 64 items each")
+	fmt.Printf("%-10s %10s %12s %12s\n", "backend", "cycles", "cycles/item", "noc msgs")
+	for _, backend := range pmc.BackendNames() {
+		fifo := pmc.NewMFifo()
+		fifo.Items = 64
+		cfg := pmc.DefaultConfig()
+		cfg.Tiles = 8
+		res, err := pmc.RunApp(fifo, cfg, backend)
+		if err != nil {
+			log.Fatalf("%s: %v", backend, err)
+		}
+		items := fifo.Writers * fifo.Items
+		fmt.Printf("%-10s %10d %12.0f %12d\n",
+			backend, res.Cycles, float64(res.Cycles)/float64(items), res.NoCMessages)
+	}
+	fmt.Println("\nnote how dsm wins: pointer polls stay in tile-local memory and only the")
+	fmt.Println("data and flushed pointers cross the write-only interconnect.")
+}

@@ -1,0 +1,81 @@
+// Quickstart: the paper's Fig. 6 message-passing program written once
+// against the PMC annotation API and executed on every memory architecture
+// of Table II. The same source delivers the payload correctly everywhere —
+// "porting applications to hardware with another memory model becomes just
+// a compiler setting".
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pmc"
+)
+
+func main() {
+	fmt.Println("PMC quickstart: annotated message passing on every backend")
+	fmt.Printf("%-10s %10s %8s\n", "backend", "cycles", "value")
+	for _, backend := range pmc.BackendNames() {
+		cycles, got, err := run(backend)
+		if err != nil {
+			log.Fatalf("%s: %v", backend, err)
+		}
+		fmt.Printf("%-10s %10d %8d\n", backend, cycles, got)
+		if got != 42 {
+			log.Fatalf("%s delivered %d, want 42", backend, got)
+		}
+	}
+	fmt.Println("\nall backends delivered 42: the application is independent of the")
+	fmt.Println("hardware's memory model, as the PMC approach promises.")
+}
+
+func run(backend string) (pmc.Time, uint32, error) {
+	cfg := pmc.DefaultConfig()
+	cfg.Tiles = 2
+	sys, err := pmc.NewSystem(cfg)
+	if err != nil {
+		return 0, 0, err
+	}
+	b, err := pmc.BackendByName(backend)
+	if err != nil {
+		return 0, 0, err
+	}
+	r := pmc.NewRuntime(sys, b)
+	x := r.Alloc("X", 4)
+	flag := r.Alloc("flag", 4)
+
+	var got uint32
+	// Process 1 (Fig. 6, lines 1-9).
+	r.Spawn(0, "writer", func(c *pmc.Ctx) {
+		c.EntryX(x)
+		c.Write32(x, 0, 42)
+		c.Fence()
+		c.ExitX(x)
+
+		c.EntryX(flag)
+		c.Write32(flag, 0, 1)
+		c.Flush(flag)
+		c.ExitX(flag)
+	})
+	// Process 2 (Fig. 6, lines 10-18).
+	r.Spawn(1, "reader", func(c *pmc.Ctx) {
+		for {
+			c.EntryRO(flag)
+			poll := c.Read32(flag, 0)
+			c.ExitRO(flag)
+			if poll == 1 {
+				break
+			}
+			c.Compute(8)
+		}
+		c.Fence()
+
+		c.EntryX(x)
+		got = c.Read32(x, 0)
+		c.ExitX(x)
+	})
+	if err := r.Run(); err != nil {
+		return 0, 0, err
+	}
+	return sys.K.Now(), got, nil
+}

@@ -1,0 +1,32 @@
+// SPLASH-2 case study (Fig. 8): the three application substitutes on the
+// 32-core system, uncached shared data ("no CC") versus transparent
+// software cache coherency ("SWCC") — the paper's headline experiment,
+// rendered as a stacked execution-time breakdown.
+//
+// Pass -small for a quick run.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"pmc"
+)
+
+func main() {
+	smallFlag := flag.Bool("small", false, "run the quick configuration")
+	tiles := flag.Int("tiles", 32, "tile count")
+	flag.Parse()
+
+	scale := "full"
+	if *smallFlag {
+		scale = "small"
+	}
+	fmt.Printf("Fig. 8 reproduction at %s scale on %d tiles\n\n", scale, *tiles)
+	err := pmc.RunExperiment(os.Stdout, "fig8", pmc.ExpOptions{Tiles: *tiles, Scale: scale})
+	if err != nil {
+		log.Fatal(err)
+	}
+}

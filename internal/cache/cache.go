@@ -1,0 +1,327 @@
+// Package cache models the non-coherent write-back caches of the simulated
+// SoC. A cache holds real copies of backing-store data, so stale lines and
+// lost writebacks corrupt the simulated program's results — exactly the
+// failure mode the PMC annotations exist to prevent — rather than being
+// abstracted into counters.
+//
+// Mirroring the MicroBlaze data cache the paper targets, the only control
+// operations are per-line invalidate (discard, even if dirty) and
+// flush-and-invalidate (write back if dirty, then discard). There is no way
+// to reconcile a dirty line while keeping it resident; Section V-B of the
+// paper calls this restriction out and the SWCC protocol is designed around
+// it.
+//
+// The cache is a pure data/state machine: methods report what bus traffic an
+// access implies (miss fill, victim writeback) and move data to/from the
+// backing store, but charge no simulated time. The tile (internal/soc) is
+// responsible for timing.
+package cache
+
+import (
+	"fmt"
+
+	"pmc/internal/mem"
+)
+
+// Config describes a cache's geometry.
+type Config struct {
+	Size     int // total bytes
+	Ways     int // associativity; 1 = direct-mapped
+	LineSize int // bytes per line (power of two)
+}
+
+// Valid reports whether the geometry is internally consistent.
+func (c Config) Valid() error {
+	switch {
+	case c.LineSize <= 0 || c.LineSize&(c.LineSize-1) != 0:
+		return fmt.Errorf("cache: line size %d not a positive power of two", c.LineSize)
+	case c.Ways <= 0:
+		return fmt.Errorf("cache: ways %d", c.Ways)
+	case c.Size <= 0 || c.Size%(c.LineSize*c.Ways) != 0:
+		return fmt.Errorf("cache: size %d not divisible by ways*line", c.Size)
+	}
+	sets := c.Size / (c.LineSize * c.Ways)
+	if sets&(sets-1) != 0 {
+		return fmt.Errorf("cache: set count %d not a power of two", sets)
+	}
+	return nil
+}
+
+// Sets returns the number of sets.
+func (c Config) Sets() int { return c.Size / (c.LineSize * c.Ways) }
+
+type line struct {
+	tag   uint32
+	valid bool
+	dirty bool
+	lru   uint64 // larger = more recently used
+	data  []byte
+}
+
+// Stats counts cache events since construction.
+type Stats struct {
+	Hits        uint64
+	Misses      uint64
+	Fills       uint64
+	Writebacks  uint64 // dirty victims + dirty flushes
+	Invalidated uint64 // lines dropped by control ops
+	DirtyLost   uint64 // dirty lines discarded by InvalidateLine
+}
+
+// Cache is a set-associative write-back, write-allocate cache in front of a
+// backing store.
+type Cache struct {
+	cfg     Config
+	backing mem.Block
+	sets    [][]line
+	tick    uint64
+	stats   Stats
+
+	lineMask uint32
+	setShift uint32
+	setMask  uint32
+}
+
+// New returns an empty cache over the given backing store.
+func New(cfg Config, backing mem.Block) *Cache {
+	if err := cfg.Valid(); err != nil {
+		panic(err)
+	}
+	sets := make([][]line, cfg.Sets())
+	for i := range sets {
+		ways := make([]line, cfg.Ways)
+		for w := range ways {
+			ways[w].data = make([]byte, cfg.LineSize)
+		}
+		sets[i] = ways
+	}
+	setShift := uint32(0)
+	for 1<<setShift < cfg.LineSize {
+		setShift++
+	}
+	return &Cache{
+		cfg:      cfg,
+		backing:  backing,
+		sets:     sets,
+		lineMask: uint32(cfg.LineSize - 1),
+		setShift: setShift,
+		setMask:  uint32(cfg.Sets() - 1),
+	}
+}
+
+// Config returns the geometry.
+func (c *Cache) Config() Config { return c.cfg }
+
+// Stats returns a copy of the event counters.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// LineBase returns the line-aligned base of addr.
+func (c *Cache) LineBase(addr mem.Addr) mem.Addr {
+	return addr &^ mem.Addr(c.lineMask)
+}
+
+func (c *Cache) setIndex(addr mem.Addr) uint32 {
+	return (uint32(addr) >> c.setShift) & c.setMask
+}
+
+func (c *Cache) tag(addr mem.Addr) uint32 {
+	return uint32(addr) >> c.setShift
+}
+
+// lookup returns the resident line for addr, or nil.
+func (c *Cache) lookup(addr mem.Addr) *line {
+	set := c.sets[c.setIndex(addr)]
+	tag := c.tag(addr)
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			return &set[i]
+		}
+	}
+	return nil
+}
+
+// Traffic describes the bus transactions an access caused. Fill is true if
+// a line was fetched from backing store; Writeback is true if a dirty
+// victim (or flushed line) was written back first. The soc layer converts
+// these into bus time.
+type Traffic struct {
+	Fill      bool
+	Writeback bool
+	// WritebackAddr is the written-back line's base address (valid when
+	// Writeback is set); the memory model routes it to its bank.
+	WritebackAddr mem.Addr
+}
+
+// victim picks the LRU way of addr's set, writing it back if dirty, and
+// returns it ready for (re)fill.
+func (c *Cache) victim(addr mem.Addr) (*line, Traffic) {
+	set := c.sets[c.setIndex(addr)]
+	var v *line
+	for i := range set {
+		if !set[i].valid {
+			v = &set[i]
+			break
+		}
+		if v == nil || set[i].lru < v.lru {
+			v = &set[i]
+		}
+	}
+	var tr Traffic
+	if v.valid && v.dirty {
+		tr.WritebackAddr = mem.Addr(v.tag << c.setShift)
+		c.writebackLine(v)
+		tr.Writeback = true
+	}
+	if v.valid {
+		c.stats.Invalidated++
+	}
+	v.valid = false
+	v.dirty = false
+	return v, tr
+}
+
+func (c *Cache) writebackLine(l *line) {
+	base := mem.Addr(l.tag << c.setShift)
+	c.backing.WriteBlock(base, l.data)
+	c.stats.Writebacks++
+}
+
+func (c *Cache) fill(addr mem.Addr) (*line, Traffic) {
+	v, tr := c.victim(addr)
+	base := c.LineBase(addr)
+	c.backing.ReadBlock(base, v.data)
+	v.tag = c.tag(addr)
+	v.valid = true
+	v.dirty = false
+	tr.Fill = true
+	c.stats.Fills++
+	return v, tr
+}
+
+func (c *Cache) touch(l *line) {
+	c.tick++
+	l.lru = c.tick
+}
+
+// Read32 reads the little-endian word at addr through the cache,
+// allocating on miss.
+func (c *Cache) Read32(addr mem.Addr) (v uint32, tr Traffic) {
+	l := c.lookup(addr)
+	if l == nil {
+		c.stats.Misses++
+		l, tr = c.fill(addr)
+	} else {
+		c.stats.Hits++
+	}
+	c.touch(l)
+	off := uint32(addr) & c.lineMask
+	d := l.data[off:]
+	return uint32(d[0]) | uint32(d[1])<<8 | uint32(d[2])<<16 | uint32(d[3])<<24, tr
+}
+
+// Write32 writes the word at addr through the cache (write-back,
+// write-allocate): the line is fetched on miss and marked dirty.
+func (c *Cache) Write32(addr mem.Addr, v uint32) (tr Traffic) {
+	l := c.lookup(addr)
+	if l == nil {
+		c.stats.Misses++
+		l, tr = c.fill(addr)
+	} else {
+		c.stats.Hits++
+	}
+	c.touch(l)
+	l.dirty = true
+	off := uint32(addr) & c.lineMask
+	d := l.data[off:]
+	d[0] = byte(v)
+	d[1] = byte(v >> 8)
+	d[2] = byte(v >> 16)
+	d[3] = byte(v >> 24)
+	return tr
+}
+
+// Probe reports whether addr's line is resident, without touching LRU state.
+func (c *Cache) Probe(addr mem.Addr) (resident, dirty bool) {
+	if l := c.lookup(addr); l != nil {
+		return true, l.dirty
+	}
+	return false, false
+}
+
+// FlushLine writes addr's line back if dirty and invalidates it. It
+// reports the traffic (Writeback set if data moved). This is the
+// MicroBlaze "wdc.flush" analogue.
+func (c *Cache) FlushLine(addr mem.Addr) (tr Traffic) {
+	l := c.lookup(addr)
+	if l == nil {
+		return
+	}
+	if l.dirty {
+		tr.WritebackAddr = mem.Addr(l.tag << c.setShift)
+		c.writebackLine(l)
+		tr.Writeback = true
+	}
+	l.valid = false
+	l.dirty = false
+	c.stats.Invalidated++
+	return tr
+}
+
+// InvalidateLine discards addr's line without writing it back, even if
+// dirty — the MicroBlaze "wdc" analogue. Discarding dirty data loses
+// writes; the SWCC protocol only uses it where that is sound.
+func (c *Cache) InvalidateLine(addr mem.Addr) {
+	l := c.lookup(addr)
+	if l == nil {
+		return
+	}
+	if l.dirty {
+		c.stats.DirtyLost++
+	}
+	l.valid = false
+	l.dirty = false
+	c.stats.Invalidated++
+}
+
+// FlushRange flush-invalidates every line overlapping [addr, addr+size) and
+// returns the number of lines visited and written back. The per-line cost
+// (one flush instruction each, plus bus time per writeback) is charged by
+// the caller.
+func (c *Cache) FlushRange(addr mem.Addr, size int) (lines, writebacks int) {
+	if size <= 0 {
+		return 0, 0
+	}
+	first := c.LineBase(addr)
+	last := c.LineBase(addr + mem.Addr(size-1))
+	for a := first; ; a += mem.Addr(c.cfg.LineSize) {
+		lines++
+		if tr := c.FlushLine(a); tr.Writeback {
+			writebacks++
+		}
+		if a == last {
+			break
+		}
+	}
+	return lines, writebacks
+}
+
+// FlushAll flush-invalidates every resident line and returns the number of
+// writebacks performed.
+func (c *Cache) FlushAll() (writebacks int) {
+	for si := range c.sets {
+		for wi := range c.sets[si] {
+			l := &c.sets[si][wi]
+			if !l.valid {
+				continue
+			}
+			if l.dirty {
+				c.writebackLine(l)
+				writebacks++
+			}
+			l.valid = false
+			l.dirty = false
+			c.stats.Invalidated++
+		}
+	}
+	return writebacks
+}

@@ -1,0 +1,224 @@
+// Package conform runs litmus programs directly on the simulated SoC —
+// through the PMC runtime and a concrete backend — and checks that every
+// outcome the hardware/runtime combination produces is admitted by the
+// formal model's exhaustive exploration. This is the paper's verification
+// claim made executable: "the PMC model is designed such that a mapping of
+// the primitives and ordering relations to specific hardware can be
+// designed and verified with relative ease" (Section I).
+//
+// A single simulated run is deterministic and yields one outcome; to
+// sample the implementation's outcome space the harness re-runs each
+// program under many timing perturbations (per-thread start staggers and
+// poll backoffs), which shift the interleaving without touching program
+// logic. Conformance requires observed ⊆ allowed; the inclusion is
+// typically strict, because a real machine resolves races that the model
+// leaves open.
+package conform
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"pmc/internal/litmus"
+	"pmc/internal/rt"
+	"pmc/internal/soc"
+)
+
+// Report is the result of checking one program on one backend.
+type Report struct {
+	Program string
+	Backend string
+	// Allowed is the model's outcome set.
+	Allowed []string
+	// Observed maps each outcome seen on the simulator to the number of
+	// perturbed runs that produced it.
+	Observed map[string]int
+	// Violations lists observed outcomes the model forbids (must be
+	// empty for a conforming implementation).
+	Violations []string
+	Runs       int
+}
+
+// Ok reports conformance.
+func (r *Report) Ok() bool { return len(r.Violations) == 0 }
+
+// String renders the report compactly.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s on %s: %d runs, %d/%d allowed outcomes observed",
+		r.Program, r.Backend, r.Runs, len(r.Observed), len(r.Allowed))
+	if !r.Ok() {
+		fmt.Fprintf(&b, "; VIOLATIONS: %v", r.Violations)
+	}
+	return b.String()
+}
+
+// Check explores prog under the model, then executes it on the simulator
+// with the given backend under `runs` timing perturbations, and compares
+// outcome sets.
+func Check(prog litmus.Program, backend string, tiles, runs int) (*Report, error) {
+	model, err := litmus.Explore(prog)
+	if err != nil {
+		return nil, err
+	}
+	rep := &Report{
+		Program:  prog.Name,
+		Backend:  backend,
+		Allowed:  model.OutcomeList(),
+		Observed: make(map[string]int),
+		Runs:     runs,
+	}
+	allowed := make(map[string]bool, len(rep.Allowed))
+	for _, o := range rep.Allowed {
+		allowed[o] = true
+	}
+	if tiles < len(prog.Threads) {
+		return nil, fmt.Errorf("conform: %d tiles for %d threads", tiles, len(prog.Threads))
+	}
+	for seed := 0; seed < runs; seed++ {
+		outcome, err := execute(prog, backend, tiles, uint32(seed))
+		if err != nil {
+			return nil, fmt.Errorf("conform %s on %s seed %d: %w", prog.Name, backend, seed, err)
+		}
+		rep.Observed[outcome]++
+		if !allowed[outcome] {
+			dup := false
+			for _, v := range rep.Violations {
+				if v == outcome {
+					dup = true
+				}
+			}
+			if !dup {
+				rep.Violations = append(rep.Violations, outcome)
+			}
+		}
+	}
+	return rep, nil
+}
+
+// execute runs one perturbed instance of prog and returns its canonical
+// outcome string.
+func execute(prog litmus.Program, backend string, tiles int, seed uint32) (string, error) {
+	cfg := soc.DefaultConfig()
+	cfg.Tiles = tiles
+	cfg.MaxCycles = 20_000_000
+	sys, err := soc.New(cfg)
+	if err != nil {
+		return "", err
+	}
+	b, err := rt.ByName(backend)
+	if err != nil {
+		return "", err
+	}
+	r := rt.New(sys, b)
+	objs := make(map[string]*rt.Object, len(prog.Locs))
+	for _, name := range prog.Locs {
+		objs[name] = r.Alloc(name, 4)
+	}
+	type reg struct {
+		name string
+		val  uint32
+	}
+	results := make(chan reg, 64) // collected host-side; no sim cost
+	for ti, th := range prog.Threads {
+		ti, th := ti, th
+		// Deterministic per-thread perturbation derived from the seed.
+		h := seed*2654435761 + uint32(ti)*40503 + 1
+		stagger := int(h % 97)
+		backoff := int(h/97%23) + 1
+		r.Spawn(ti, fmt.Sprintf("t%d", ti), func(c *rt.Ctx) {
+			c.SetCodeFootprint(1024)
+			c.Compute(1 + stagger)
+			// Bare litmus accesses get their own entry/exit pair (the
+			// runtime discipline requires one, and the added
+			// synchronization can only restrict outcomes); accesses
+			// inside an explicit acquire/release use the open scope.
+			open := map[string]bool{}
+			for _, in := range th {
+				switch in.Kind {
+				case litmus.IWrite:
+					if open[in.Loc] {
+						c.Write32(objs[in.Loc], 0, uint32(in.Val))
+						break
+					}
+					// A bare write gets its own scope plus a flush:
+					// the flush adds no ordering (it is a liveness
+					// hint, Section IV-D) but is what lets pollers
+					// on weak-visibility backends (DSM, lazy SWCC)
+					// eventually observe the value — the paper's
+					// reason for flush(f) in Fig. 6.
+					c.EntryX(objs[in.Loc])
+					c.Write32(objs[in.Loc], 0, uint32(in.Val))
+					c.Flush(objs[in.Loc])
+					c.ExitX(objs[in.Loc])
+				case litmus.IRead:
+					var v uint32
+					if open[in.Loc] {
+						v = c.Read32(objs[in.Loc], 0)
+					} else {
+						c.EntryRO(objs[in.Loc])
+						v = c.Read32(objs[in.Loc], 0)
+						c.ExitRO(objs[in.Loc])
+					}
+					if in.Reg != "" {
+						results <- reg{in.Reg, v}
+					}
+				case litmus.IAcquire:
+					c.EntryX(objs[in.Loc])
+					open[in.Loc] = true
+				case litmus.IRelease:
+					c.ExitX(objs[in.Loc])
+					delete(open, in.Loc)
+				case litmus.IFence:
+					if in.Loc != "" {
+						c.FenceObj(objs[in.Loc])
+					} else {
+						c.Fence()
+					}
+				case litmus.IFlush:
+					c.Flush(objs[in.Loc])
+				case litmus.IAwaitEq:
+					for {
+						c.EntryRO(objs[in.Loc])
+						v := c.Read32(objs[in.Loc], 0)
+						c.ExitRO(objs[in.Loc])
+						if v == uint32(in.Val) {
+							if in.Reg != "" {
+								results <- reg{in.Reg, v}
+							}
+							break
+						}
+						c.Compute(backoff)
+					}
+				}
+			}
+		})
+	}
+	if err := r.Run(); err != nil {
+		return "", err
+	}
+	close(results)
+	regs := map[string]uint32{}
+	for rv := range results {
+		regs[rv.name] = rv.val
+	}
+	return canonical(regs), nil
+}
+
+// canonical matches the litmus explorer's outcome rendering.
+func canonical(regs map[string]uint32) string {
+	if len(regs) == 0 {
+		return "(no observations)"
+	}
+	keys := make([]string, 0, len(regs))
+	for k := range regs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = fmt.Sprintf("%s=%d", k, regs[k])
+	}
+	return strings.Join(parts, " ")
+}

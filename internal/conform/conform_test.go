@@ -1,0 +1,89 @@
+package conform
+
+import (
+	"testing"
+
+	"pmc/internal/litmus"
+	"pmc/internal/rt"
+)
+
+// TestAllBackendsConformOnCatalog is the headline conformance matrix:
+// every cataloged litmus program, on every backend, under many timing
+// perturbations, never produces an outcome the PMC model forbids.
+func TestAllBackendsConformOnCatalog(t *testing.T) {
+	progs := []string{
+		"fig1-unsynchronized", "fig5-annotated", "fig5-no-acquire",
+		"fig5-scoped-fence", "sb-bare", "sb-drf", "corr", "mutex-counter", "lb",
+	}
+	for _, backend := range rt.Backends {
+		backend := backend
+		t.Run(backend, func(t *testing.T) {
+			for _, name := range progs {
+				prog, ok := litmus.ByName(name)
+				if !ok {
+					t.Fatalf("program %s missing", name)
+				}
+				rep, err := Check(prog, backend, 4, 6)
+				if err != nil {
+					t.Fatalf("%s: %v", name, err)
+				}
+				if !rep.Ok() {
+					t.Errorf("%s", rep)
+				}
+			}
+		})
+	}
+}
+
+// TestAnnotatedProgramsAreDeterministic: for the fully annotated programs
+// the model admits exactly one outcome, so every perturbed simulator run
+// must produce it.
+func TestAnnotatedProgramsAreDeterministic(t *testing.T) {
+	for _, name := range []string{"fig5-annotated", "fig5-scoped-fence", "wrc-drf"} {
+		prog, ok := litmus.ByName(name)
+		if !ok {
+			t.Fatalf("program %s missing", name)
+		}
+		for _, backend := range []string{"swcc", "dsm"} {
+			rep, err := Check(prog, backend, 4, 8)
+			if err != nil {
+				t.Fatalf("%s on %s: %v", name, backend, err)
+			}
+			if !rep.Ok() {
+				t.Fatalf("%s", rep)
+			}
+			if len(rep.Observed) != 1 {
+				t.Errorf("%s on %s: %d distinct outcomes, want 1 (%v)",
+					name, backend, len(rep.Observed), rep.Observed)
+			}
+		}
+	}
+}
+
+// TestPerturbationsExploreOutcomes: for a racy program the perturbed runs
+// should reach more than one outcome on at least one backend — otherwise
+// the conformance sampling is vacuous.
+func TestPerturbationsExploreOutcomes(t *testing.T) {
+	prog, _ := litmus.ByName("mutex-counter")
+	distinct := map[string]bool{}
+	for _, backend := range rt.Backends {
+		rep, err := Check(prog, backend, 4, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for o := range rep.Observed {
+			distinct[o] = true
+		}
+	}
+	if len(distinct) < 2 {
+		t.Fatalf("perturbation sweep found only %v — sampling too weak", distinct)
+	}
+}
+
+// TestCheckRejectsTooFewTiles guards the API.
+func TestCheckRejectsTooFewTiles(t *testing.T) {
+	prog, _ := litmus.ByName("iriw") // 4 threads
+	if _, err := Check(prog, "swcc", 2, 1); err == nil {
+		t.Fatal("4 threads on 2 tiles not rejected")
+	}
+}

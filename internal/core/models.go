@@ -1,0 +1,110 @@
+package core
+
+// This file makes Section IV-E ("Comparison to Existing Models")
+// executable. The paper characterizes PMC's globally observable orderings
+// by two properties from Steinke & Nutt's taxonomy:
+//
+//	GDO (Global Data Order):    all writes to one location are totally
+//	                            ordered, across processes — what
+//	                            acquire/release pairs provide;
+//	GPO (Global Process Order): all writes of one process are totally
+//	                            ordered, across locations — what fences
+//	                            provide.
+//
+// The paper's claims, each of which has a corresponding test:
+//   - plain reads/writes behave as Slow Consistency (per-process,
+//     per-location order only);
+//   - wrapping writes in acquire/release yields GDO — Cache Consistency;
+//   - adding a fence between every operation yields GDO+GPO — Processor
+//     Consistency, which can simulate SC for data-race-free programs;
+//   - both GDO and GPO are required for a usable model.
+
+// HasGDO reports whether all writes to v (including the initial one) are
+// totally ordered under ≺G — Global Data Order for that location.
+func (e *Execution) HasGDO(v Loc) bool { return e.WritesTotallyOrderedG(v) }
+
+// HasGDOAll reports GDO for every location.
+func (e *Execution) HasGDOAll() bool {
+	for v := Loc(0); int(v) < e.NumLocs(); v++ {
+		if !e.HasGDO(v) {
+			return false
+		}
+	}
+	return true
+}
+
+// HasGPO reports whether all writes issued by process p are totally
+// ordered under ≺G across locations — Global Process Order for p.
+func (e *Execution) HasGPO(p ProcID) bool {
+	var ws []int
+	for _, op := range e.ops {
+		if op.Kind == KWrite && !op.IsInit && op.Proc == p {
+			ws = append(ws, op.ID)
+		}
+	}
+	for i := 0; i < len(ws); i++ {
+		for j := i + 1; j < len(ws); j++ {
+			if !e.ReachableG(ws[i], ws[j]) && !e.ReachableG(ws[j], ws[i]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// HasGPOAll reports GPO for every process that issued a write.
+func (e *Execution) HasGPOAll() bool {
+	seen := map[ProcID]bool{}
+	for _, op := range e.ops {
+		if op.Kind == KWrite && !op.IsInit && !seen[op.Proc] {
+			seen[op.Proc] = true
+			if !e.HasGPO(op.Proc) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// ClassifyStrength names the strongest classical model the execution's
+// global orderings satisfy, per Section IV-E's characterization:
+//
+//	"slow" — neither GDO nor GPO beyond per-process-per-location order;
+//	"cc"   — GDO everywhere (Cache Consistency);
+//	"gpo"  — GPO everywhere but not GDO (PRAM-like);
+//	"pc"   — GDO and GPO everywhere (Processor Consistency).
+func (e *Execution) ClassifyStrength() string {
+	gdo, gpo := e.HasGDOAll(), e.HasGPOAll()
+	switch {
+	case gdo && gpo:
+		return "pc"
+	case gdo:
+		return "cc"
+	case gpo:
+		return "gpo"
+	default:
+		return "slow"
+	}
+}
+
+// SlowConsistencyHolds verifies the base guarantee PMC shares with Slow
+// Consistency: writes by one process to one location are observed by that
+// process's later reads in issue order — i.e. for every read, the writes
+// of the reading process to that location that precede it in issue order
+// are all p≺-before it.
+func (e *Execution) SlowConsistencyHolds() bool {
+	for _, rd := range e.ops {
+		if rd.Kind != KRead || rd.IsInit {
+			continue
+		}
+		for _, w := range e.ops {
+			if w.Kind != KWrite || w.IsInit || w.Proc != rd.Proc || w.Loc != rd.Loc || w.ID >= rd.ID {
+				continue
+			}
+			if !e.ReachableP(rd.Proc, w.ID, rd.ID) {
+				return false
+			}
+		}
+	}
+	return true
+}

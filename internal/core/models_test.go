@@ -1,0 +1,139 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// bareWrites issues unsynchronized writes from two processes to two
+// locations.
+func bareWrites() *Execution {
+	e := NewExecution()
+	x := e.AddLoc("X")
+	y := e.AddLoc("Y")
+	e.Write(1, x, 1)
+	e.Write(1, y, 2)
+	e.Write(2, x, 3)
+	e.Write(2, y, 4)
+	return e
+}
+
+// lockedWrites wraps every write in acquire/release of its location.
+func lockedWrites(withFences bool) *Execution {
+	e := NewExecution()
+	x := e.AddLoc("X")
+	y := e.AddLoc("Y")
+	emit := func(p ProcID, v Loc, val Value) {
+		e.Acquire(p, v)
+		e.Write(p, v, val)
+		e.Release(p, v)
+		if withFences {
+			e.Fence(p)
+		}
+	}
+	emit(1, x, 1)
+	emit(1, y, 2)
+	emit(2, x, 3)
+	emit(2, y, 4)
+	return e
+}
+
+// TestSectionIVEHierarchy walks the paper's model hierarchy: bare accesses
+// are Slow Consistency, locks add GDO (Cache Consistency), locks plus
+// fences add GPO (Processor Consistency).
+func TestSectionIVEHierarchy(t *testing.T) {
+	if got := bareWrites().ClassifyStrength(); got != "slow" {
+		t.Errorf("bare writes classify as %q, want slow", got)
+	}
+	if got := lockedWrites(false).ClassifyStrength(); got != "cc" {
+		t.Errorf("locked writes classify as %q, want cc (GDO without GPO)", got)
+	}
+	if got := lockedWrites(true).ClassifyStrength(); got != "pc" {
+		t.Errorf("locked+fenced writes classify as %q, want pc (GDO+GPO)", got)
+	}
+}
+
+func TestGDORequiresLocks(t *testing.T) {
+	e := bareWrites()
+	if e.HasGDOAll() {
+		t.Fatal("unsynchronized cross-process writes must not be totally ordered")
+	}
+	if !lockedWrites(false).HasGDOAll() {
+		t.Fatal("lock-disciplined writes must have GDO")
+	}
+}
+
+func TestGPORequiresFences(t *testing.T) {
+	if lockedWrites(false).HasGPOAll() {
+		t.Fatal("without fences, writes of one process to different locations are unordered")
+	}
+	if !lockedWrites(true).HasGPOAll() {
+		t.Fatal("with fences between operations, per-process writes must be totally ordered")
+	}
+}
+
+func TestSlowConsistencyAlwaysHolds(t *testing.T) {
+	// The base model guarantees Slow Consistency even with no
+	// synchronization at all (Section IV-C: "the reads, writes, local
+	// and program order ... are equivalent to Slow Consistency").
+	e := NewExecution()
+	x := e.AddLoc("X")
+	e.Write(1, x, 1)
+	e.Read(1, x, 1)
+	e.Write(1, x, 2)
+	e.Read(1, x, 2)
+	e.Write(2, x, 9)
+	e.Read(2, x, 9)
+	if !e.SlowConsistencyHolds() {
+		t.Fatal("slow consistency must hold by construction")
+	}
+}
+
+// Property: any random program satisfies Slow Consistency, and wrapping
+// the same write sequence in per-location locks always yields GDO.
+func TestModelHierarchyProperty(t *testing.T) {
+	prop := func(script []byte) bool {
+		// Arbitrary program: slow consistency by construction.
+		e := NewExecution()
+		randProgram(e, script, 3, 2)
+		if !e.SlowConsistencyHolds() {
+			return false
+		}
+		// Lock-disciplined version of the write stream: GDO.
+		d := NewExecution()
+		locs := []Loc{d.AddLoc("A"), d.AddLoc("B")}
+		for i := 0; i+1 < len(script); i += 2 {
+			p := ProcID(script[i] % 3)
+			v := locs[int(script[i+1])%2]
+			d.Acquire(p, v)
+			d.Write(p, v, Value(i))
+			d.Release(p, v)
+		}
+		return d.HasGDOAll()
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestClassifyGPOOnly covers the PRAM-like corner: a single writer process
+// with fences has GPO trivially, but cross-process writes without locks
+// break GDO.
+func TestClassifyGPOOnly(t *testing.T) {
+	e := NewExecution()
+	x := e.AddLoc("X")
+	e.Write(1, x, 1)
+	e.Fence(1)
+	e.Write(1, x, 2) // fence orders p1's writes: GPO for p1
+	e.Write(2, x, 9) // unordered against p1: GDO broken
+	e.Fence(2)
+	if e.HasGDOAll() {
+		t.Fatal("cross-process unlocked writes should break GDO")
+	}
+	if !e.HasGPOAll() {
+		t.Fatal("fenced per-process writes should have GPO")
+	}
+	if got := e.ClassifyStrength(); got != "gpo" {
+		t.Fatalf("classification = %q, want gpo", got)
+	}
+}

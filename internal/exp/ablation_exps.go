@@ -1,0 +1,223 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+
+	"pmc/internal/rt"
+	"pmc/internal/soc"
+	"pmc/internal/stats"
+	"pmc/internal/workloads"
+)
+
+// This file registers the ablations DESIGN.md §7 calls out — design
+// choices the paper makes implicitly, quantified.
+
+func init() {
+	register(Experiment{
+		ID:    "ablation-locks",
+		Title: "distributed asymmetric lock vs centralized TAS over SDRAM",
+		Paper: "ref [15]: waiters spin on local memory; centralized spinning loads the shared bus",
+		Run:   runAblationLocks,
+	})
+	register(Experiment{
+		ID:    "ablation-release",
+		Title: "eager vs lazy release (exit_x flush policy)",
+		Paper: "Section V-A: exit_x may keep modifications local until another process acquires",
+		Run:   runAblationRelease,
+	})
+	register(Experiment{
+		ID:    "ablation-scaling",
+		Title: "core-count scaling of noCC vs SWCC",
+		Paper: "hardware coherency limits scalability (Section VI-A); SWCC's advantage grows with cores",
+		Run:   runAblationScaling,
+	})
+	register(Experiment{
+		ID:    "ablation-dcache",
+		Title: "D-cache capacity sweep under SWCC vs SPM",
+		Paper: "the SPM advantage is protocol (copy once, concurrent readers), not capacity",
+		Run:   runAblationDCache,
+	})
+	register(Experiment{
+		ID:    "ablation-granularity",
+		Title: "annotation granularity: one scope over many words vs one scope per word",
+		Paper: "a single acquire/release pair can contain multiple writes (Section IV-D)",
+		Run:   runAblationGranularity,
+	})
+}
+
+func runAblationLocks(w io.Writer, o Options) error {
+	tiles := o.tiles(8)
+	iters := 200
+	if !o.full() {
+		iters = 40
+	}
+	fmt.Fprintf(w, "%-13s %10s %12s %12s\n", "locks", "cycles", "bus grants", "noc msgs")
+	for _, kind := range []soc.LockKind{soc.LockDistributed, soc.LockCentralized} {
+		cfg := sysConfig(tiles)
+		cfg.Locks = kind
+		app := workloads.DefaultReacquire()
+		app.Iters = iters
+		app.CrossEvery = 4 // heavy cross-tile contention
+		sys, err := soc.New(cfg)
+		if err != nil {
+			return err
+		}
+		r := rt.New(sys, rt.SWCC())
+		app.Setup(r, tiles)
+		for t := 0; t < tiles; t++ {
+			t := t
+			r.Spawn(t, "w", func(c *rt.Ctx) { app.Worker(c, t, tiles) })
+		}
+		if err := r.Run(); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%-13s %10d %12d %12d\n",
+			kind, sys.K.Now(), sys.SDRAM.Grants(), sys.Net.Stats().Messages)
+	}
+	fmt.Fprintln(w, "\ncentralized TAS spinning occupies the shared bus that all data accesses need;")
+	fmt.Fprintln(w, "the distributed lock keeps waiting local and pays only per-handoff messages.")
+	return nil
+}
+
+func runAblationRelease(w io.Writer, o Options) error {
+	tiles := o.tiles(8)
+	app := workloads.DefaultReacquire()
+	if !o.full() {
+		app.Iters = 32
+	}
+	var results []*workloads.Result
+	fmt.Fprintf(w, "%-10s %10s %10s %12s %10s\n", "policy", "cycles", "flushes", "writebacks", "checksum")
+	for _, backend := range []string{"swcc", "swcc-lazy"} {
+		a := *app
+		res, err := workloads.Run(&a, sysConfig(tiles), backend)
+		if err != nil {
+			return err
+		}
+		results = append(results, res)
+		fmt.Fprintf(w, "%-10s %10d %10d %12d %#10x\n",
+			backend, res.Cycles, res.Total.FlushInstrs, res.Total.FlushStall, res.Checksum)
+	}
+	if results[0].Checksum != results[1].Checksum {
+		return fmt.Errorf("ablation-release: checksums differ — lazy release lost data")
+	}
+	fmt.Fprintf(w, "\nlazy release wins %.1f%% on this re-acquire-heavy pattern: data stays cached\n",
+		stats.Speedup(results[0], results[1]))
+	fmt.Fprintln(w, "across scopes of the same tile and is flushed only on real ownership transfer.")
+	return nil
+}
+
+func runAblationScaling(w io.Writer, o Options) error {
+	counts := []int{1, 2, 4, 8, 16, 32}
+	if !o.full() {
+		counts = []int{1, 4, 8}
+	}
+	fmt.Fprintf(w, "%-6s %12s %12s %10s\n", "tiles", "nocc cycles", "swcc cycles", "swcc gain")
+	for _, tiles := range counts {
+		var cyc [2]uint64
+		for i, backend := range []string{"nocc", "swcc"} {
+			ray := workloads.DefaultRaytrace()
+			ray.Cells, ray.Rays, ray.StepsPerRay = 48, 16*tiles, 4
+			res, err := workloads.Run(ray, sysConfig(tiles), backend)
+			if err != nil {
+				return err
+			}
+			cyc[i] = uint64(res.Cycles)
+		}
+		fmt.Fprintf(w, "%-6d %12d %12d %9.1f%%\n",
+			tiles, cyc[0], cyc[1], 100*(1-float64(cyc[1])/float64(cyc[0])))
+	}
+	fmt.Fprintln(w, "\nuncached shared reads all contend on the single bus, so the noCC penalty")
+	fmt.Fprintln(w, "grows with the core count while SWCC converts them into per-scope line fills.")
+	return nil
+}
+
+func runAblationDCache(w io.Writer, o Options) error {
+	tiles := o.tiles(8)
+	me := workloads.DefaultMotionEst()
+	if !o.full() {
+		me.BlocksX, me.BlocksY = 4, 2
+	}
+	fmt.Fprintf(w, "%-22s %10s\n", "configuration", "cycles")
+	for _, kib := range []int{2, 8, 32} {
+		cfg := sysConfig(tiles)
+		cfg.DCache.Size = kib * 1024
+		m := *me
+		res, err := workloads.Run(&m, cfg, "swcc")
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "swcc, %2d KiB D-cache   %10d\n", kib, res.Cycles)
+	}
+	m := *me
+	res, err := workloads.Run(&m, sysConfig(tiles), "spm")
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%-22s %10d\n", "spm", res.Cycles)
+	fmt.Fprintln(w, "\ngrowing the cache does not close the gap: SWCC still serializes read-only")
+	fmt.Fprintln(w, "scopes on the object lock and re-fills after every exit_ro invalidation.")
+	return nil
+}
+
+// runAblationGranularity compares one entry/exit pair around a batch of
+// updates against one pair per word.
+func runAblationGranularity(w io.Writer, o Options) error {
+	tiles := o.tiles(4)
+	words := 16
+	iters := 24
+	if o.full() {
+		iters = 96
+	}
+	run := func(fine bool) (uint64, error) {
+		sys, err := soc.New(sysConfig(tiles))
+		if err != nil {
+			return 0, err
+		}
+		r := rt.New(sys, rt.SWCC())
+		objs := make([]*rt.Object, tiles)
+		for i := range objs {
+			objs[i] = r.Alloc(fmt.Sprintf("arr%d", i), words*4)
+		}
+		for t := 0; t < tiles; t++ {
+			t := t
+			r.Spawn(t, "w", func(c *rt.Ctx) {
+				c.SetCodeFootprint(1024)
+				o := objs[t]
+				for i := 0; i < iters; i++ {
+					if fine {
+						for wd := 0; wd < words; wd++ {
+							c.EntryX(o)
+							c.Write32(o, 4*wd, c.Read32(o, 4*wd)+1)
+							c.ExitX(o)
+						}
+					} else {
+						c.EntryX(o)
+						for wd := 0; wd < words; wd++ {
+							c.Write32(o, 4*wd, c.Read32(o, 4*wd)+1)
+						}
+						c.ExitX(o)
+					}
+					c.Compute(30)
+				}
+			})
+		}
+		if err := r.Run(); err != nil {
+			return 0, err
+		}
+		return uint64(sys.K.Now()), nil
+	}
+	coarse, err := run(false)
+	if err != nil {
+		return err
+	}
+	fine, err := run(true)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "one scope per batch of %d words: %10d cycles\n", words, coarse)
+	fmt.Fprintf(w, "one scope per word:             %10d cycles (%.1fx)\n", fine, float64(fine)/float64(coarse))
+	fmt.Fprintln(w, "\nscopes amortize the lock round-trip and the exit flush over many accesses —")
+	fmt.Fprintln(w, "the reason the model allows multiple writes per acquire/release pair.")
+	return nil
+}

@@ -1,0 +1,211 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+
+	"pmc/internal/rt"
+	"pmc/internal/stats"
+	"pmc/internal/workloads"
+)
+
+// This file registers the case-study experiments: Table II, Fig. 7, Fig. 8
+// (software cache coherency on the SPLASH-2 substitutes), Fig. 9 (the
+// multi-reader/-writer FIFO on DSM) and Fig. 10 (motion estimation on SPM).
+
+func init() {
+	register(Experiment{
+		ID:    "table2",
+		Title: "implementation of the annotations on the three architectures",
+		Paper: "software cache coherency / DSM over write-only interconnect / SPM and SDRAM",
+		Run:   runTable2,
+	})
+	register(Experiment{
+		ID:    "fig7",
+		Title: "distributed memory architecture (system topology)",
+		Paper: "tiles with local dual-port memories, write-only NoC access to others, shared SDRAM",
+		Run:   runFig7,
+	})
+	register(Experiment{
+		ID:    "fig8",
+		Title: "execution-time breakdown: uncached shared data vs software cache coherency",
+		Paper: "SWCC improves execution time 22% on average; RADIOSITY utilization 38%→70%; flush instruction overhead 0.66/0.00/0.01%",
+		Run:   runFig8,
+	})
+	register(Experiment{
+		ID:    "fig9",
+		Title: "multi-reader/multi-writer FIFO on distributed shared memory",
+		Paper: "pointers are polled only from local memory; the FIFO behaves correctly on all architectures",
+		Run:   runFig9,
+	})
+	register(Experiment{
+		ID:    "fig10",
+		Title: "motion estimation on scratch-pad memories",
+		Paper: "significant performance increase using SPMs compared to the software cache coherency setup",
+		Run:   runFig10,
+	})
+}
+
+// runMsgPassMatrix runs the annotated message-passing program on every
+// backend and reports delivery. Shared by fig6 and table2.
+func runMsgPassMatrix(w io.Writer, o Options) error {
+	tiles := o.tiles(4)
+	fmt.Fprintf(w, "%-10s %10s %8s %10s %8s\n", "backend", "cycles", "result", "noc msgs", "flushes")
+	for _, backend := range rt.Backends {
+		app := workloads.DefaultMsgPass()
+		res, err := workloads.Run(app, sysConfig(tiles), backend)
+		if err != nil {
+			return err
+		}
+		verdict := "42 ok"
+		if res.Checksum != app.Expected() {
+			verdict = "WRONG"
+		}
+		fmt.Fprintf(w, "%-10s %10d %8s %10d %8d\n",
+			backend, res.Cycles, verdict, res.NoCMessages, res.Total.FlushInstrs)
+	}
+	return nil
+}
+
+func runTable2(w io.Writer, o Options) error {
+	fmt.Fprintln(w, `annotation   nocc/SC                swcc                         dsm                           spm
+entry_x      acquire lock           acquire lock (object not     acquire lock; on transfer     acquire lock; copy SDRAM
+                                    cached outside scopes)       prev owner pushes object      into local SPM copy
+exit_x       release lock           flush+invalidate object      release (lazy; data moves     copy back to SDRAM;
+                                    lines; release lock          at next transfer)             release lock
+entry_ro     lock if > 1 word       lock if > 1 word; reads      lock if > 1 word; reads       copy in (lock only during
+                                    warm the cache               hit the local replica         the copy); then lock-free
+exit_ro      unlock                 invalidate lines; unlock     unlock                        discard the copy
+fence        no instructions (in-order core; compiler barrier only) on every backend
+flush        nullified              flush+invalidate lines       broadcast object to all       copy back to SDRAM
+                                                                 other local memories
+
+measured effects of the same annotated program on each backend:`)
+	return runMsgPassMatrix(w, o)
+}
+
+func runFig7(w io.Writer, o Options) error {
+	cfg := sysConfig(o.tiles(32))
+	fmt.Fprintf(w, "tiles: %d, each with:\n", cfg.Tiles)
+	fmt.Fprintf(w, "  I-cache: %d B, %d-way, %d B lines\n", cfg.ICache.Size, cfg.ICache.Ways, cfg.ICache.LineSize)
+	fmt.Fprintf(w, "  D-cache: %d B, %d-way, %d B lines (write-back, non-coherent; control ops: invalidate, flush+invalidate)\n",
+		cfg.DCache.Size, cfg.DCache.Ways, cfg.DCache.LineSize)
+	fmt.Fprintf(w, "  local dual-port memory: %d KiB (1-cycle core port, NoC write port)\n", cfg.LocalBytes/1024)
+	fmt.Fprintf(w, "shared SDRAM: %d MiB, %d-bank pipelined controller (word %d cy, line burst %d cy, channel %d/%d cy)\n",
+		cfg.SDRAMBytes>>20, cfg.SDRAM.Banks, cfg.SDRAM.WordLat, cfg.SDRAM.LineLat,
+		cfg.SDRAM.ChannelWordLat, cfg.SDRAM.ChannelLineLat)
+	fmt.Fprintf(w, "NoC: write-only bidirectional ring, %d cy/hop, %d B/flit, injection %d cy\n",
+		cfg.NoC.HopLat, cfg.NoC.FlitSize, cfg.NoC.InjLat)
+	fmt.Fprintf(w, "locks: %s (asymmetric, spin on local memory; ref [15])\n", cfg.Locks)
+	return nil
+}
+
+func runFig8(w io.Writer, o Options) error {
+	tiles := o.tiles(32)
+	apps := fig8Apps(o)
+	groups := make(map[string][]*workloads.Result)
+	var order []string
+	var results []*workloads.Result
+	type pair struct{ no, sw *workloads.Result }
+	pairs := make(map[string]pair)
+	for _, app := range apps {
+		order = append(order, app.Name())
+		for _, backend := range []string{"nocc", "swcc"} {
+			res, err := workloads.Run(app, sysConfig(tiles), backend)
+			if err != nil {
+				return err
+			}
+			groups[app.Name()] = append(groups[app.Name()], res)
+			results = append(results, res)
+			p := pairs[app.Name()]
+			if backend == "nocc" {
+				p.no = res
+			} else {
+				p.sw = res
+			}
+			pairs[app.Name()] = p
+		}
+		// Checksum agreement between the two runs of one app.
+		rs := groups[app.Name()]
+		if rs[0].Checksum != rs[1].Checksum {
+			return fmt.Errorf("fig8: %s checksum differs between backends", app.Name())
+		}
+	}
+	stats.RenderFig8(w, groups, order)
+	fmt.Fprintln(w)
+	stats.RenderExtended(w, results)
+	fmt.Fprintln(w)
+	var sum float64
+	for _, name := range order {
+		p := pairs[name]
+		sp := stats.Speedup(p.no, p.sw)
+		sum += sp
+		fmt.Fprintf(w, "%-10s exec time improvement: %5.1f%%   utilization %4.1f%% -> %4.1f%%   flush instr overhead %.2f%%\n",
+			name, sp, 100*p.no.Utilization(), 100*p.sw.Utilization(), p.sw.FlushOverheadPct())
+	}
+	fmt.Fprintf(w, "average improvement: %.1f%%   (paper: 22%%)\n", sum/float64(len(order)))
+	return nil
+}
+
+func runFig9(w io.Writer, o Options) error {
+	tiles := o.tiles(8)
+	fifo := workloads.DefaultMFifo()
+	if o.full() {
+		fifo.Items = 256
+		fifo.Readers, fifo.Writers = 3, 3
+	}
+	fmt.Fprintf(w, "%-10s %10s %12s %12s %10s %8s\n",
+		"backend", "cycles", "cycles/item", "noc msgs", "noc bytes", "verified")
+	items := fifo.Writers * fifo.Items
+	for _, backend := range rt.Backends {
+		f := *fifo
+		res, err := workloads.Run(&f, sysConfig(tiles), backend)
+		if err != nil {
+			return err
+		}
+		// The per-reader stream agreement is asserted by the test
+		// suite (TestMFifoDeliversEverywhere); here a zero content
+		// digest would mean no data flowed at all.
+		verified := "yes"
+		if res.Checksum == 0 {
+			verified = "NO DATA"
+		}
+		fmt.Fprintf(w, "%-10s %10d %12.0f %12d %10d %8s\n",
+			backend, res.Cycles, float64(res.Cycles)/float64(items),
+			res.NoCMessages, res.NoCBytes, verified)
+	}
+	fmt.Fprintf(w, "\nDSM property: NoC traffic scales with items (%d), not poll iterations —\n", items)
+	fmt.Fprintf(w, "read/write pointers are polled from local memory only (Section VI-B).\n")
+	return nil
+}
+
+func runFig10(w io.Writer, o Options) error {
+	tiles := o.tiles(8)
+	me := workloads.DefaultMotionEst()
+	if o.full() {
+		me.BlocksX, me.BlocksY, me.Search = 8, 6, 4
+	}
+	var base *workloads.Result
+	fmt.Fprintf(w, "%-10s %10s %10s %10s\n", "backend", "cycles", "speedup", "copy%")
+	for _, backend := range []string{"nocc", "swcc", "spm"} {
+		m := *me
+		res, err := workloads.Run(&m, sysConfig(tiles), backend)
+		if err != nil {
+			return err
+		}
+		if base == nil {
+			base = res
+		}
+		tot := float64(res.Total.Total())
+		copyPct := 0.0
+		if tot > 0 {
+			copyPct = 100 * float64(res.Total.CopyStall) / tot
+		}
+		fmt.Fprintf(w, "%-10s %10d %9.2fx %9.1f%%\n",
+			backend, res.Cycles, float64(base.Cycles)/float64(res.Cycles), copyPct)
+	}
+	fmt.Fprintln(w, "\nspm > swcc: the SPM copy is paid once per scope while the search re-reads")
+	fmt.Fprintln(w, "the window hundreds of times, and read-only scopes stay concurrent (the SPM")
+	fmt.Fprintln(w, "lock is held only during the copy, Table II).")
+	return nil
+}

@@ -1,0 +1,123 @@
+// Package exp contains one runnable experiment per table and figure of the
+// paper, plus the ablations DESIGN.md calls out. Every experiment writes a
+// self-describing report (measured numbers next to the paper's reference
+// values) so EXPERIMENTS.md can be regenerated from `pmcsim all`.
+package exp
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"pmc/internal/soc"
+	"pmc/internal/workloads"
+)
+
+// Options selects the experiment scale.
+type Options struct {
+	// Tiles is the system size; 0 means the experiment's default (the
+	// paper's 32 for the case studies).
+	Tiles int
+	// Scale is "small" (CI/test-sized) or "full" (paper-sized).
+	Scale string
+}
+
+func (o Options) full() bool { return o.Scale != "small" }
+
+func (o Options) tiles(def int) int {
+	if o.Tiles > 0 {
+		return o.Tiles
+	}
+	return def
+}
+
+// Experiment is one reproducible artifact.
+type Experiment struct {
+	ID    string
+	Title string
+	// Paper summarizes what the paper reports for this artifact.
+	Paper string
+	Run   func(w io.Writer, o Options) error
+}
+
+var registry []Experiment
+
+func register(e Experiment) { registry = append(registry, e) }
+
+// All returns every experiment in registration order.
+func All() []Experiment {
+	out := make([]Experiment, len(registry))
+	copy(out, registry)
+	return out
+}
+
+// ByID returns the experiment with the given ID.
+func ByID(id string) (Experiment, bool) {
+	for _, e := range registry {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// IDs returns the sorted experiment IDs.
+func IDs() []string {
+	var ids []string
+	for _, e := range registry {
+		ids = append(ids, e.ID)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// sysConfig builds the simulated system configuration for an experiment.
+func sysConfig(tiles int) soc.Config {
+	cfg := soc.DefaultConfig()
+	cfg.Tiles = tiles
+	return cfg
+}
+
+// header prints the experiment banner.
+func header(w io.Writer, e Experiment) {
+	fmt.Fprintf(w, "=== %s: %s ===\n", e.ID, e.Title)
+	if e.Paper != "" {
+		fmt.Fprintf(w, "paper: %s\n", e.Paper)
+	}
+	fmt.Fprintln(w)
+}
+
+// RunByID runs one experiment, printing its banner first.
+func RunByID(w io.Writer, id string, o Options) error {
+	e, ok := ByID(id)
+	if !ok {
+		return fmt.Errorf("exp: unknown experiment %q (have %v)", id, IDs())
+	}
+	header(w, e)
+	return e.Run(w, o)
+}
+
+// RunAll runs every experiment in registration order.
+func RunAll(w io.Writer, o Options) error {
+	for _, e := range registry {
+		header(w, e)
+		if err := e.Run(w, o); err != nil {
+			return fmt.Errorf("%s: %w", e.ID, err)
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+// fig8Apps returns the three SPLASH-2 substitutes at the requested scale.
+func fig8Apps(o Options) []workloads.App {
+	rad := workloads.DefaultRadiosity()
+	ray := workloads.DefaultRaytrace()
+	vol := workloads.DefaultVolrend()
+	if !o.full() {
+		rad.Patches, rad.Rounds, rad.Fanout = 48, 2, 3
+		ray.Cells, ray.Rays, ray.StepsPerRay = 48, 40, 4
+		vol.Bricks, vol.OutTiles, vol.RaysPerTile = 32, 24, 3
+	}
+	return []workloads.App{rad, ray, vol}
+}

@@ -1,0 +1,372 @@
+// Package litmus exhaustively explores the outcomes of small annotated
+// multi-threaded programs under the PMC memory model (internal/core). It
+// enumerates every thread interleaving and, at each read, every value the
+// model permits (Definition 12), collecting the set of observable final
+// outcomes.
+//
+// The explorer enforces what the model assumes but does not itself provide:
+//   - mutual exclusion: an acquire is enabled only while no other thread
+//     holds the location's lock;
+//   - slow-memory read monotonicity: successive reads of one location by
+//     one thread never step backwards through the write order they have
+//     already observed (the second clause of Definition 12, applied in
+//     issue order, which is Slow Consistency's guarantee);
+//   - progress for polls: an await is enabled once the awaited value is
+//     readable, modelling "the flag is eventually observed" without
+//     enumerating unboundedly many failed poll iterations.
+//
+// This is the tool that demonstrates Fig. 1 (the unsynchronized program has
+// a stale outcome), Fig. 5/6 (the annotated program has exactly one
+// outcome), and the SC-simulation claim for data-race-free programs.
+package litmus
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"pmc/internal/core"
+)
+
+// InstrKind enumerates litmus instructions. They correspond to the PMC
+// annotations of Section V-A: reads/writes plus entry_x/exit_x (acquire/
+// release), fence, and an await modelling a poll loop. Flush is accepted
+// for program fidelity but is a no-op at model level (it is a liveness
+// hint, not an ordering, Section IV-D).
+type InstrKind uint8
+
+const (
+	// IRead reads Loc into register Reg.
+	IRead InstrKind = iota
+	// IWrite writes the constant Val to Loc.
+	IWrite
+	// IAcquire is entry_x(Loc).
+	IAcquire
+	// IRelease is exit_x(Loc).
+	IRelease
+	// IFence is fence().
+	IFence
+	// IFlush is flush(Loc): no model ordering, explorer no-op.
+	IFlush
+	// IAwaitEq blocks until a read of Loc can return Val, then performs
+	// that read into Reg (if Reg is non-empty).
+	IAwaitEq
+)
+
+// Instr is one litmus instruction.
+type Instr struct {
+	Kind InstrKind
+	Loc  string
+	Val  core.Value
+	Reg  string
+}
+
+// Convenience constructors.
+
+// Read returns an instruction reading loc into reg.
+func Read(loc, reg string) Instr { return Instr{Kind: IRead, Loc: loc, Reg: reg} }
+
+// Write returns an instruction writing val to loc.
+func Write(loc string, val core.Value) Instr { return Instr{Kind: IWrite, Loc: loc, Val: val} }
+
+// Acquire returns entry_x(loc).
+func Acquire(loc string) Instr { return Instr{Kind: IAcquire, Loc: loc} }
+
+// Release returns exit_x(loc).
+func Release(loc string) Instr { return Instr{Kind: IRelease, Loc: loc} }
+
+// Fence returns fence().
+func Fence() Instr { return Instr{Kind: IFence} }
+
+// FenceOn returns a location-scoped fence (the Section IV-D extension):
+// it orders only operations on loc.
+func FenceOn(loc string) Instr { return Instr{Kind: IFence, Loc: loc} }
+
+// Flush returns flush(loc).
+func Flush(loc string) Instr { return Instr{Kind: IFlush, Loc: loc} }
+
+// AwaitEq returns a poll loop "while(loc != val);" that records the
+// successful read in reg (reg may be empty).
+func AwaitEq(loc string, val core.Value, reg string) Instr {
+	return Instr{Kind: IAwaitEq, Loc: loc, Val: val, Reg: reg}
+}
+
+// Thread is a sequence of instructions executed by one process.
+type Thread []Instr
+
+// Program is a complete litmus test.
+type Program struct {
+	Name    string
+	Locs    []string
+	Threads []Thread
+}
+
+// Result summarizes an exploration.
+type Result struct {
+	// Outcomes maps a canonical register assignment ("r1=42 r2=0") to
+	// the number of distinct executions producing it.
+	Outcomes map[string]int
+	// Stuck counts executions that reached a state with no enabled
+	// instruction before all threads finished (deadlock/livelock).
+	Stuck int
+	// States is the number of explored states (a cost metric).
+	States int
+}
+
+// HasOutcome reports whether the canonical outcome string was observed.
+func (r *Result) HasOutcome(s string) bool { return r.Outcomes[s] > 0 }
+
+// OutcomeList returns the sorted outcome strings.
+func (r *Result) OutcomeList() []string {
+	var out []string
+	for o := range r.Outcomes {
+		out = append(out, o)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// String renders the result compactly.
+func (r *Result) String() string {
+	var b strings.Builder
+	for _, o := range r.OutcomeList() {
+		fmt.Fprintf(&b, "%s (%d executions)\n", o, r.Outcomes[o])
+	}
+	if r.Stuck > 0 {
+		fmt.Fprintf(&b, "stuck: %d\n", r.Stuck)
+	}
+	return b.String()
+}
+
+// state is one node of the exploration tree.
+type state struct {
+	exec *core.Execution
+	pcs  []int
+	// lockHolder[loc] = thread index holding it, or -1.
+	lockHolder []int
+	// lastRead[thread][loc] = op ID of the write last read-from, or -1.
+	lastRead [][]int
+	regs     map[string]core.Value
+}
+
+func (s *state) clone() *state {
+	c := &state{
+		exec:       s.exec.Clone(),
+		pcs:        append([]int(nil), s.pcs...),
+		lockHolder: append([]int(nil), s.lockHolder...),
+		lastRead:   make([][]int, len(s.lastRead)),
+		regs:       make(map[string]core.Value, len(s.regs)),
+	}
+	for i := range s.lastRead {
+		c.lastRead[i] = append([]int(nil), s.lastRead[i]...)
+	}
+	for k, v := range s.regs {
+		c.regs[k] = v
+	}
+	return c
+}
+
+// Explorer runs exhaustive exploration of a program.
+type Explorer struct {
+	prog   Program
+	locIdx map[string]core.Loc
+	res    Result
+	// MaxStates aborts pathological explorations.
+	MaxStates int
+}
+
+// NewExplorer prepares an exploration of p.
+func NewExplorer(p Program) *Explorer {
+	return &Explorer{prog: p, MaxStates: 2_000_000}
+}
+
+// Explore runs the exhaustive search and returns the result.
+func Explore(p Program) (*Result, error) {
+	return NewExplorer(p).Run()
+}
+
+// Run executes the exploration.
+func (x *Explorer) Run() (*Result, error) {
+	exec := core.NewExecution()
+	x.locIdx = make(map[string]core.Loc, len(x.prog.Locs))
+	for _, name := range x.prog.Locs {
+		x.locIdx[name] = exec.AddLoc(name)
+	}
+	for _, th := range x.prog.Threads {
+		for _, in := range th {
+			if in.Kind == IFence && in.Loc == "" {
+				continue
+			}
+			if _, ok := x.locIdx[in.Loc]; !ok {
+				return nil, fmt.Errorf("litmus %s: unknown location %q", x.prog.Name, in.Loc)
+			}
+		}
+	}
+	s := &state{
+		exec:       exec,
+		pcs:        make([]int, len(x.prog.Threads)),
+		lockHolder: make([]int, len(x.prog.Locs)),
+		lastRead:   make([][]int, len(x.prog.Threads)),
+		regs:       make(map[string]core.Value),
+	}
+	for i := range s.lockHolder {
+		s.lockHolder[i] = -1
+	}
+	for i := range s.lastRead {
+		s.lastRead[i] = make([]int, len(x.prog.Locs))
+		for j := range s.lastRead[i] {
+			s.lastRead[i][j] = -1
+		}
+	}
+	x.res = Result{Outcomes: make(map[string]int)}
+	x.dfs(s)
+	if x.res.States >= x.MaxStates {
+		return nil, fmt.Errorf("litmus %s: state budget exhausted (%d)", x.prog.Name, x.MaxStates)
+	}
+	return &x.res, nil
+}
+
+// readCandidates returns the write op IDs a read of loc by thread t may
+// return in state s, honoring Definition 12 and read monotonicity.
+func (x *Explorer) readCandidates(s *state, t int, loc core.Loc) []int {
+	// Issue a probe read to compute W and the readable set, on a clone
+	// so the real state is untouched.
+	probe := s.exec.Clone()
+	op := probe.Read(core.ProcID(t), loc, 0)
+	cands := probe.ReadableFrom(op.ID)
+	last := s.lastRead[t][loc]
+	var out []int
+	for _, b := range cands {
+		if b == op.ID {
+			continue
+		}
+		// Monotonicity: never read a write that is strictly before
+		// the one we already observed, in our own view.
+		if last >= 0 && b != last {
+			if s.exec.ReachableP(core.ProcID(t), b, last) {
+				continue
+			}
+		}
+		out = append(out, b)
+	}
+	return out
+}
+
+// step returns the successor states of s for thread t, or nil if t is
+// blocked (or finished).
+func (x *Explorer) step(s *state, t int) []*state {
+	th := x.prog.Threads[t]
+	if s.pcs[t] >= len(th) {
+		return nil
+	}
+	in := th[s.pcs[t]]
+	p := core.ProcID(t)
+	switch in.Kind {
+	case IWrite:
+		n := s.clone()
+		n.exec.Write(p, x.locIdx[in.Loc], in.Val)
+		n.pcs[t]++
+		return []*state{n}
+	case IFence:
+		n := s.clone()
+		if in.Loc != "" {
+			n.exec.FenceLoc(p, x.locIdx[in.Loc])
+		} else {
+			n.exec.Fence(p)
+		}
+		n.pcs[t]++
+		return []*state{n}
+	case IFlush:
+		n := s.clone()
+		n.pcs[t]++
+		return []*state{n}
+	case IAcquire:
+		loc := x.locIdx[in.Loc]
+		if s.lockHolder[loc] != -1 {
+			return nil // blocked
+		}
+		n := s.clone()
+		n.exec.Acquire(p, loc)
+		n.lockHolder[loc] = t
+		n.pcs[t]++
+		return []*state{n}
+	case IRelease:
+		loc := x.locIdx[in.Loc]
+		if s.lockHolder[loc] != t {
+			panic(fmt.Sprintf("litmus %s: thread %d releases %s without holding it",
+				x.prog.Name, t, in.Loc))
+		}
+		n := s.clone()
+		n.exec.Release(p, loc)
+		n.lockHolder[loc] = -1
+		n.pcs[t]++
+		return []*state{n}
+	case IRead, IAwaitEq:
+		loc := x.locIdx[in.Loc]
+		cands := x.readCandidates(s, t, loc)
+		var succs []*state
+		for _, b := range cands {
+			val := s.exec.Op(b).Val
+			if s.exec.Op(b).IsInit {
+				val = 0
+			}
+			if in.Kind == IAwaitEq && val != in.Val {
+				continue
+			}
+			n := s.clone()
+			n.exec.Read(p, loc, val)
+			n.lastRead[t][loc] = b
+			if in.Reg != "" {
+				n.regs[in.Reg] = val
+			}
+			n.pcs[t]++
+			succs = append(succs, n)
+		}
+		return succs // empty = blocked (await not yet satisfiable)
+	}
+	panic("litmus: unknown instruction")
+}
+
+func (x *Explorer) dfs(s *state) {
+	if x.res.States >= x.MaxStates {
+		return
+	}
+	x.res.States++
+	allDone := true
+	anyStep := false
+	for t := range x.prog.Threads {
+		if s.pcs[t] < len(x.prog.Threads[t]) {
+			allDone = false
+		}
+	}
+	if allDone {
+		x.res.Outcomes[canonical(s.regs)]++
+		return
+	}
+	for t := range x.prog.Threads {
+		for _, n := range x.step(s, t) {
+			anyStep = true
+			x.dfs(n)
+		}
+	}
+	if !anyStep {
+		x.res.Stuck++
+	}
+}
+
+// canonical renders a register assignment deterministically.
+func canonical(regs map[string]core.Value) string {
+	if len(regs) == 0 {
+		return "(no observations)"
+	}
+	keys := make([]string, 0, len(regs))
+	for k := range regs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = fmt.Sprintf("%s=%d", k, regs[k])
+	}
+	return strings.Join(parts, " ")
+}

@@ -1,0 +1,289 @@
+package litmus
+
+import (
+	"testing"
+	"testing/quick"
+
+	"pmc/internal/core"
+)
+
+func explore(t *testing.T, p Program) *Result {
+	t.Helper()
+	r, err := Explore(p)
+	if err != nil {
+		t.Fatalf("%s: %v", p.Name, err)
+	}
+	return r
+}
+
+// TestFig1Broken: without synchronization on X, the reader can see the
+// stale initial value even after the flag — the paper's motivating bug.
+func TestFig1Broken(t *testing.T) {
+	r := explore(t, Fig1Unsynchronized())
+	if !r.HasOutcome("rX=42") {
+		t.Fatalf("fresh outcome missing: %v", r.OutcomeList())
+	}
+	if !r.HasOutcome("rX=0") {
+		t.Fatalf("stale outcome missing — the bug should be observable: %v", r.OutcomeList())
+	}
+}
+
+// TestFig1VolatileStillBroken: fences alone cannot repair Fig. 1 ("the
+// problem cannot be prevented, even if ... separated by fence
+// instructions").
+func TestFig1VolatileStillBroken(t *testing.T) {
+	r := explore(t, Fig1Volatile())
+	if !r.HasOutcome("rX=0") {
+		t.Fatalf("fences alone must not fix fig 1: %v", r.OutcomeList())
+	}
+}
+
+// TestFig5AnnotatedCorrect: the fully annotated program of Fig. 6 has
+// exactly one outcome, rX=42, across every interleaving and read choice.
+func TestFig5AnnotatedCorrect(t *testing.T) {
+	r := explore(t, Fig5Annotated())
+	if len(r.Outcomes) != 1 || !r.HasOutcome("poll=1 rX=42") {
+		t.Fatalf("outcomes = %v, want only poll=1 rX=42", r.OutcomeList())
+	}
+	if r.Stuck != 0 {
+		t.Fatalf("%d stuck executions", r.Stuck)
+	}
+}
+
+// TestFig5NoAcquireBroken: dropping only the reader's acquire of X restores
+// the stale outcome (Section IV-C's "no way ... without acquiring it").
+func TestFig5NoAcquireBroken(t *testing.T) {
+	r := explore(t, Fig5NoAcquire())
+	if !r.HasOutcome("poll=1 rX=0") {
+		t.Fatalf("stale outcome missing: %v", r.OutcomeList())
+	}
+	if !r.HasOutcome("poll=1 rX=42") {
+		t.Fatalf("fresh outcome missing: %v", r.OutcomeList())
+	}
+}
+
+// TestStoreBufferingBare: PMC admits the PC/TSO-style r1=0,r2=0 outcome
+// without synchronization.
+func TestStoreBufferingBare(t *testing.T) {
+	r := explore(t, StoreBufferingBare())
+	for _, want := range []string{"r1=0 r2=0", "r1=0 r2=1", "r1=1 r2=0", "r1=1 r2=1"} {
+		if !r.HasOutcome(want) {
+			t.Errorf("outcome %q missing: %v", want, r.OutcomeList())
+		}
+	}
+}
+
+// TestStoreBufferingDRF: with every access wrapped in entry/exit pairs and
+// fences between sections, PMC simulates SC: r1=0,r2=0 disappears.
+func TestStoreBufferingDRF(t *testing.T) {
+	r := explore(t, StoreBufferingDRF())
+	if r.HasOutcome("r1=0 r2=0") {
+		t.Fatalf("DRF store buffering must exclude r1=0 r2=0 (SC simulation): %v", r.OutcomeList())
+	}
+	for _, want := range []string{"r1=0 r2=1", "r1=1 r2=0", "r1=1 r2=1"} {
+		if !r.HasOutcome(want) {
+			t.Errorf("SC outcome %q missing: %v", want, r.OutcomeList())
+		}
+	}
+}
+
+// TestCoRRMonotone: reads of one location by one thread never go backwards
+// (slow-memory coherence).
+func TestCoRRMonotone(t *testing.T) {
+	r := explore(t, CoRR())
+	bad := []string{"r1=1 r2=0", "r1=2 r2=0", "r1=2 r2=1"}
+	for _, b := range bad {
+		if r.HasOutcome(b) {
+			t.Errorf("non-monotone outcome %q observed", b)
+		}
+	}
+	for _, want := range []string{"r1=0 r2=0", "r1=0 r2=1", "r1=0 r2=2", "r1=1 r2=1", "r1=1 r2=2", "r1=2 r2=2"} {
+		if !r.HasOutcome(want) {
+			t.Errorf("monotone outcome %q missing: %v", want, r.OutcomeList())
+		}
+	}
+}
+
+// TestMutexCounter: the lock serializes the sections; each thread sees
+// either the initial value or the other's write, never torn state.
+func TestMutexCounter(t *testing.T) {
+	r := explore(t, MutexCounter())
+	want := map[string]bool{"a1=0 a2=10": true, "a1=20 a2=0": true}
+	for _, o := range r.OutcomeList() {
+		if !want[o] {
+			t.Errorf("unexpected outcome %q", o)
+		}
+		delete(want, o)
+	}
+	for o := range want {
+		t.Errorf("missing outcome %q", o)
+	}
+}
+
+func TestAwaitNeverSatisfiedIsStuck(t *testing.T) {
+	p := Program{
+		Name: "stuck",
+		Locs: []string{"f"},
+		Threads: []Thread{
+			{AwaitEq("f", 7, "")}, // nobody writes 7
+			{Write("f", 1)},
+		},
+	}
+	r := explore(t, p)
+	if r.Stuck == 0 {
+		t.Fatal("unsatisfiable await should be reported stuck")
+	}
+	if len(r.Outcomes) != 0 {
+		t.Fatalf("no complete outcome expected, got %v", r.OutcomeList())
+	}
+}
+
+func TestUnknownLocationRejected(t *testing.T) {
+	p := Program{
+		Name:    "bad",
+		Locs:    []string{"X"},
+		Threads: []Thread{{Write("Y", 1)}},
+	}
+	if _, err := Explore(p); err == nil {
+		t.Fatal("unknown location not rejected")
+	}
+}
+
+func TestCatalogExplores(t *testing.T) {
+	for _, p := range Catalog() {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			r := explore(t, p)
+			if r.States == 0 {
+				t.Fatal("no states explored")
+			}
+		})
+	}
+	if _, ok := ByName("fig5-annotated"); !ok {
+		t.Fatal("ByName lookup failed")
+	}
+	if _, ok := ByName("nonexistent"); ok {
+		t.Fatal("ByName false positive")
+	}
+}
+
+// Property: in any two-thread program where one thread only writes
+// ascending values under a lock and the other only reads, every thread's
+// observed read sequence is monotonically nondecreasing.
+func TestReaderMonotoneProperty(t *testing.T) {
+	prop := func(nWrites, nReads uint8) bool {
+		nw := int(nWrites%4) + 1
+		nr := int(nReads%3) + 1
+		var writer, reader Thread
+		writer = append(writer, Acquire("X"))
+		for i := 1; i <= nw; i++ {
+			writer = append(writer, Write("X", core.Value(i)))
+		}
+		writer = append(writer, Release("X"))
+		regs := make([]string, nr)
+		for i := 0; i < nr; i++ {
+			regs[i] = string(rune('a' + i))
+			reader = append(reader, Read("X", regs[i]))
+		}
+		p := Program{Name: "prop", Locs: []string{"X"}, Threads: []Thread{writer, reader}}
+		x := NewExplorer(p)
+		x.MaxStates = 500_000
+		r, err := x.Run()
+		if err != nil {
+			return false
+		}
+		// Parse each outcome and require monotone register values.
+		for o := range r.Outcomes {
+			vals := parseOutcome(o, regs)
+			for i := 1; i < len(vals); i++ {
+				if vals[i] < vals[i-1] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func parseOutcome(o string, regs []string) []int {
+	vals := make([]int, len(regs))
+	fields := map[string]int{}
+	var key string
+	var num int
+	inNum := false
+	flushKV := func() {
+		if key != "" {
+			fields[key] = num
+		}
+		key, num, inNum = "", 0, false
+	}
+	for i := 0; i < len(o); i++ {
+		c := o[i]
+		switch {
+		case c == ' ':
+			flushKV()
+		case c == '=':
+			inNum = true
+		case inNum && c >= '0' && c <= '9':
+			num = num*10 + int(c-'0')
+		default:
+			key += string(c)
+		}
+	}
+	flushKV()
+	for i, r := range regs {
+		vals[i] = fields[r]
+	}
+	return vals
+}
+
+// TestFig5ScopedFence: the writer's fence scoped to X (Section IV-D)
+// preserves the unique outcome of the fully annotated program.
+func TestFig5ScopedFence(t *testing.T) {
+	r := explore(t, Fig5ScopedFence())
+	if len(r.Outcomes) != 1 || !r.HasOutcome("poll=1 rX=42") {
+		t.Fatalf("outcomes = %v, want only poll=1 rX=42", r.OutcomeList())
+	}
+}
+
+// TestLoadBuffering: PMC forbids out-of-thin-air — reads return only
+// already-issued writes, so r1=1,r2=1 is unobservable in the LB shape.
+func TestLoadBuffering(t *testing.T) {
+	r := explore(t, LoadBuffering())
+	if r.HasOutcome("r1=1 r2=1") {
+		t.Fatalf("out-of-thin-air outcome observed: %v", r.OutcomeList())
+	}
+	for _, want := range []string{"r1=0 r2=0", "r1=0 r2=1", "r1=1 r2=0"} {
+		if !r.HasOutcome(want) {
+			t.Errorf("outcome %q missing", want)
+		}
+	}
+}
+
+// TestIRIWReadersMayDisagree: without synchronization the two readers can
+// observe the independent writes in opposite orders — PMC is weaker than
+// SC's total store order.
+func TestIRIWReadersMayDisagree(t *testing.T) {
+	r := explore(t, IRIW())
+	// Reader 2 sees X then not-Y, reader 3 sees Y then not-X.
+	if !r.HasOutcome("a=1 b=0 c=1 d=0") {
+		t.Fatalf("disagreeing IRIW outcome missing: %v", r.OutcomeList())
+	}
+}
+
+// TestWRCCausality: with annotations, write-to-read causality transfers
+// through a second thread — T2 always reads 1.
+func TestWRCCausality(t *testing.T) {
+	r := explore(t, WRCDRF())
+	for _, o := range r.OutcomeList() {
+		if o != "r=1" {
+			t.Fatalf("causality violated: outcome %q (all: %v)", o, r.OutcomeList())
+		}
+	}
+	if !r.HasOutcome("r=1") {
+		t.Fatal("no outcome recorded")
+	}
+}

@@ -1,0 +1,264 @@
+package litmus
+
+// This file catalogs the paper's example programs as litmus tests, used by
+// the tests, the pmclitmus CLI, and the benchmark harness.
+
+// Fig1Unsynchronized is the broken program of Fig. 1: X and the flag are
+// written without synchronization on X, so after seeing flag=1 the reader
+// may still observe the initial X ("the program breaks").
+func Fig1Unsynchronized() Program {
+	return Program{
+		Name: "fig1-unsynchronized",
+		Locs: []string{"X", "flag"},
+		Threads: []Thread{
+			{ // Process 1
+				Write("X", 42),
+				Write("flag", 1),
+			},
+			{ // Process 2
+				AwaitEq("flag", 1, ""),
+				Read("X", "rX"),
+			},
+		},
+	}
+}
+
+// Fig1Volatile is Fig. 1 with fences around every access — the paper's
+// point that "the problem cannot be prevented, even if both X and flag are
+// declared volatile, atomic or separated by fence instructions".
+func Fig1Volatile() Program {
+	return Program{
+		Name: "fig1-volatile-fences",
+		Locs: []string{"X", "flag"},
+		Threads: []Thread{
+			{
+				Write("X", 42),
+				Fence(),
+				Write("flag", 1),
+			},
+			{
+				AwaitEq("flag", 1, ""),
+				Fence(),
+				Read("X", "rX"),
+			},
+		},
+	}
+}
+
+// Fig5Annotated is the properly annotated message-passing program of
+// Figs. 5 and 6: entry_x/exit_x around all writes, fences for the
+// cross-location orderings, flush for liveness. Its only outcome is rX=42.
+func Fig5Annotated() Program {
+	return Program{
+		Name: "fig5-annotated",
+		Locs: []string{"X", "f"},
+		Threads: []Thread{
+			{ // Process 1 (Fig. 6 lines 1..9)
+				Acquire("X"),
+				Write("X", 42),
+				Fence(),
+				Release("X"),
+				Acquire("f"),
+				Write("f", 1),
+				Flush("f"),
+				Release("f"),
+			},
+			{ // Process 2 (Fig. 6 lines 10..18)
+				AwaitEq("f", 1, "poll"),
+				Fence(),
+				Acquire("X"),
+				Read("X", "rX"),
+				Release("X"),
+			},
+		},
+	}
+}
+
+// Fig5NoAcquire drops the reader's acquire of X: per Section IV-C "there is
+// no way for process 2 to make sure the value 42 of X is read, without
+// acquiring it" — the stale outcome reappears.
+func Fig5NoAcquire() Program {
+	p := Fig5Annotated()
+	p.Name = "fig5-no-acquire"
+	p.Threads[1] = Thread{
+		AwaitEq("f", 1, "poll"),
+		Fence(),
+		Read("X", "rX"),
+	}
+	return p
+}
+
+// StoreBufferingBare is the classic SB shape with no synchronization: PMC
+// (like PC and weaker models) admits the r1=0,r2=0 outcome.
+func StoreBufferingBare() Program {
+	return Program{
+		Name: "sb-bare",
+		Locs: []string{"X", "Y"},
+		Threads: []Thread{
+			{Write("X", 1), Read("Y", "r1")},
+			{Write("Y", 1), Read("X", "r2")},
+		},
+	}
+}
+
+// StoreBufferingDRF wraps every access in entry_x/exit_x with fences
+// between the sections — the data-race-free version. PMC then behaves
+// sequentially consistently: r1=0,r2=0 is excluded.
+func StoreBufferingDRF() Program {
+	return Program{
+		Name: "sb-drf",
+		Locs: []string{"X", "Y"},
+		Threads: []Thread{
+			{
+				Acquire("X"), Write("X", 1), Release("X"),
+				Fence(),
+				Acquire("Y"), Read("Y", "r1"), Release("Y"),
+			},
+			{
+				Acquire("Y"), Write("Y", 1), Release("Y"),
+				Fence(),
+				Acquire("X"), Read("X", "r2"), Release("X"),
+			},
+		},
+	}
+}
+
+// CoRR checks slow-memory read coherence: a reader polling one location
+// never observes values moving backwards through the write order.
+func CoRR() Program {
+	return Program{
+		Name: "corr",
+		Locs: []string{"X"},
+		Threads: []Thread{
+			{
+				Acquire("X"), Write("X", 1), Write("X", 2), Release("X"),
+			},
+			{
+				Read("X", "r1"),
+				Read("X", "r2"),
+			},
+		},
+	}
+}
+
+// MutexCounter has two threads increment a counter-ish location under the
+// same lock; exactly the two serialization orders are observable.
+func MutexCounter() Program {
+	return Program{
+		Name: "mutex-counter",
+		Locs: []string{"C"},
+		Threads: []Thread{
+			{
+				Acquire("C"), Read("C", "a1"), Write("C", 10), Release("C"),
+			},
+			{
+				Acquire("C"), Read("C", "a2"), Write("C", 20), Release("C"),
+			},
+		},
+	}
+}
+
+// Fig5ScopedFence replaces the writer's global fence with a fence scoped
+// to X (the Section IV-D optimization): for this program the scoped fence
+// carries every ordering the writer needs, so the outcome set is unchanged.
+func Fig5ScopedFence() Program {
+	p := Fig5Annotated()
+	p.Name = "fig5-scoped-fence"
+	p.Threads[0] = Thread{
+		Acquire("X"),
+		Write("X", 42),
+		FenceOn("X"),
+		Release("X"),
+		Acquire("f"),
+		Write("f", 1),
+		Flush("f"),
+		Release("f"),
+	}
+	return p
+}
+
+// LoadBuffering is the LB shape: reads before writes on each thread. PMC
+// (like every model weaker than SC without speculation) forbids the
+// "out-of-thin-air" r1=1,r2=1 outcome because reads only return issued
+// writes.
+func LoadBuffering() Program {
+	return Program{
+		Name: "lb",
+		Locs: []string{"X", "Y"},
+		Threads: []Thread{
+			{Read("X", "r1"), Write("Y", 1)},
+			{Read("Y", "r2"), Write("X", 1)},
+		},
+	}
+}
+
+// IRIW (independent reads of independent writes): two writers to different
+// locations, two readers reading both in opposite orders. Without
+// synchronization PMC lets the readers disagree on the write order — the
+// hallmark of models weaker than SC.
+func IRIW() Program {
+	return Program{
+		Name: "iriw",
+		Locs: []string{"X", "Y"},
+		Threads: []Thread{
+			{Write("X", 1)},
+			{Write("Y", 1)},
+			{Read("X", "a"), Read("Y", "b")},
+			{Read("Y", "c"), Read("X", "d")},
+		},
+	}
+}
+
+// WRCDRF is write-to-read causality with full annotations: T0 publishes X,
+// T1 observes it and publishes Y, T2 observes Y and must then see X. The
+// flushes carry no ordering; they give the polls liveness on backends with
+// weak visibility (the role flush(f) plays in Fig. 6).
+func WRCDRF() Program {
+	return Program{
+		Name: "wrc-drf",
+		Locs: []string{"X", "Y"},
+		Threads: []Thread{
+			{
+				Acquire("X"), Write("X", 1), Flush("X"), Release("X"),
+			},
+			{
+				AwaitEq("X", 1, ""), // an unsynchronized peek...
+				Fence(),
+				Acquire("Y"), Write("Y", 1), Flush("Y"), Release("Y"),
+			},
+			{
+				AwaitEq("Y", 1, ""),
+				Fence(),
+				Acquire("X"), Read("X", "r"), Release("X"),
+			},
+		},
+	}
+}
+
+// Catalog returns all named programs.
+func Catalog() []Program {
+	return []Program{
+		Fig1Unsynchronized(),
+		Fig1Volatile(),
+		Fig5Annotated(),
+		Fig5NoAcquire(),
+		Fig5ScopedFence(),
+		StoreBufferingBare(),
+		StoreBufferingDRF(),
+		CoRR(),
+		MutexCounter(),
+		LoadBuffering(),
+		IRIW(),
+		WRCDRF(),
+	}
+}
+
+// ByName returns the named program, or false.
+func ByName(name string) (Program, bool) {
+	for _, p := range Catalog() {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return Program{}, false
+}

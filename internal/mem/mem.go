@@ -1,0 +1,262 @@
+// Package mem models the physical memories of the simulated SoC: the
+// off-chip SDRAM shared by all tiles behind an arbitrated bus, and the
+// per-tile dual-port local memories reachable at single-cycle latency from
+// the owning core and writable by the network-on-chip.
+//
+// All memories are byte-addressable and store real data: the simulated
+// software computes real results through them, so coherence bugs (stale
+// cache lines, lost writebacks, missing NoC updates) corrupt observable
+// output instead of hiding in abstract counters. Words are little-endian.
+package mem
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"pmc/internal/sim"
+)
+
+// Addr is a simulated physical address.
+type Addr uint32
+
+// RAM is a flat byte-addressable backing store covering
+// [Base, Base+len(data)). The zero value is unusable; use NewRAM.
+type RAM struct {
+	base Addr
+	data []byte
+}
+
+// NewRAM returns a RAM of the given size starting at base.
+func NewRAM(base Addr, size int) *RAM {
+	return &RAM{base: base, data: make([]byte, size)}
+}
+
+// Base returns the first address covered.
+func (r *RAM) Base() Addr { return r.base }
+
+// Size returns the number of bytes covered.
+func (r *RAM) Size() int { return len(r.data) }
+
+// Contains reports whether [addr, addr+n) lies inside the RAM.
+func (r *RAM) Contains(addr Addr, n int) bool {
+	off := int64(addr) - int64(r.base)
+	return off >= 0 && off+int64(n) <= int64(len(r.data))
+}
+
+func (r *RAM) index(addr Addr, n int) int {
+	if !r.Contains(addr, n) {
+		panic(fmt.Sprintf("mem: access [%#x,+%d) outside RAM [%#x,+%d)", addr, n, r.base, len(r.data)))
+	}
+	return int(addr - r.base)
+}
+
+// Read8 returns the byte at addr.
+func (r *RAM) Read8(addr Addr) uint8 { return r.data[r.index(addr, 1)] }
+
+// Write8 stores a byte at addr.
+func (r *RAM) Write8(addr Addr, v uint8) { r.data[r.index(addr, 1)] = v }
+
+// Read32 returns the little-endian word at addr.
+func (r *RAM) Read32(addr Addr) uint32 {
+	i := r.index(addr, 4)
+	return binary.LittleEndian.Uint32(r.data[i:])
+}
+
+// Write32 stores a little-endian word at addr.
+func (r *RAM) Write32(addr Addr, v uint32) {
+	i := r.index(addr, 4)
+	binary.LittleEndian.PutUint32(r.data[i:], v)
+}
+
+// ReadBlock copies len(dst) bytes starting at addr into dst.
+func (r *RAM) ReadBlock(addr Addr, dst []byte) {
+	i := r.index(addr, len(dst))
+	copy(dst, r.data[i:i+len(dst)])
+}
+
+// WriteBlock copies src into the RAM starting at addr.
+func (r *RAM) WriteBlock(addr Addr, src []byte) {
+	i := r.index(addr, len(src))
+	copy(r.data[i:i+len(src)], src)
+}
+
+// Block is an interface for data-level line/block movement, implemented by
+// RAM-backed devices. Timing is charged separately by the caller.
+type Block interface {
+	ReadBlock(addr Addr, dst []byte)
+	WriteBlock(addr Addr, src []byte)
+}
+
+// SDRAMConfig sets the timing of the shared memory. The model is a
+// pipelined controller: Banks independent banks each serve one access at a
+// time for the access latency (WordLat / LineLat), and a single data
+// channel serializes the transfers (ChannelWordLat / ChannelLineLat). One
+// bank with zero channel latency degenerates to a simple arbitrated bus.
+type SDRAMConfig struct {
+	// WordLat is the bank occupancy of a single-word (4 B) access.
+	WordLat sim.Time
+	// LineLat is the bank occupancy of a cache-line burst of LineSize
+	// bytes.
+	LineLat sim.Time
+	// LineSize is the burst length in bytes used by LineLat.
+	LineSize int
+	// Banks is the number of independent banks (>= 1).
+	Banks int
+	// ChannelWordLat is the shared-channel transfer time of one word.
+	ChannelWordLat sim.Time
+	// ChannelLineLat is the shared-channel transfer time of one line.
+	ChannelLineLat sim.Time
+}
+
+// DefaultSDRAMConfig mirrors the latency regime of the paper's platform: a
+// DDR controller with deep banking, tens-of-cycles access latency, and a
+// data channel that streams one line burst in a few cycles.
+func DefaultSDRAMConfig() SDRAMConfig {
+	return SDRAMConfig{
+		// A single word pays nearly the full row-access latency; a
+		// line burst amortizes it over eight words — the asymmetry
+		// that makes uncached shared data expensive (Fig. 8).
+		WordLat: 14, LineLat: 28, LineSize: 32,
+		Banks: 16, ChannelWordLat: 2, ChannelLineLat: 8,
+	}
+}
+
+// SDRAM is the shared background memory: a RAM behind a banked, pipelined
+// controller. Bank and channel queueing show up as stall time for the
+// requesting core.
+type SDRAM struct {
+	*RAM
+	Cfg     SDRAMConfig
+	Channel *sim.Resource
+	banks   []*sim.Resource
+
+	// Stats.
+	WordReads  uint64
+	WordWrites uint64
+	LineFills  uint64
+	LineWBs    uint64
+}
+
+// NewSDRAM returns an SDRAM of the given size at base address base.
+func NewSDRAM(k *sim.Kernel, base Addr, size int, cfg SDRAMConfig) *SDRAM {
+	if cfg.Banks < 1 {
+		cfg.Banks = 1
+	}
+	s := &SDRAM{
+		RAM:     NewRAM(base, size),
+		Cfg:     cfg,
+		Channel: sim.NewResource(k, "sdram-channel"),
+	}
+	for i := 0; i < cfg.Banks; i++ {
+		s.banks = append(s.banks, sim.NewResource(k, "sdram-bank"))
+	}
+	return s
+}
+
+// ReadWord performs a timed uncached word read on behalf of p, blocking for
+// queueing plus service, and returns the value and total stall cycles.
+func (s *SDRAM) ReadWord(p *sim.Proc, addr Addr) (v uint32, stall sim.Time) {
+	stall = s.AccessWord(p, addr)
+	s.WordReads++
+	return s.Read32(addr), stall
+}
+
+// WriteWord performs a timed uncached word write on behalf of p.
+func (s *SDRAM) WriteWord(p *sim.Proc, addr Addr, v uint32) (stall sim.Time) {
+	stall = s.AccessWord(p, addr)
+	s.WordWrites++
+	s.Write32(addr, v)
+	return stall
+}
+
+// FillLine performs a timed line burst read into dst (len(dst) should be
+// Cfg.LineSize) on behalf of p.
+func (s *SDRAM) FillLine(p *sim.Proc, addr Addr, dst []byte) (stall sim.Time) {
+	stall = s.AccessLine(p, addr)
+	s.LineFills++
+	s.ReadBlock(addr, dst)
+	return stall
+}
+
+// WritebackLine performs a timed line burst write from src on behalf of p.
+func (s *SDRAM) WritebackLine(p *sim.Proc, addr Addr, src []byte) (stall sim.Time) {
+	stall = s.AccessLine(p, addr)
+	s.LineWBs++
+	s.WriteBlock(addr, src)
+	return stall
+}
+
+// WritebackLineAt books bus time for a line writeback at or after time t
+// without a process context (used during lock-transfer flushes) and applies
+// the data immediately. It returns when the bus slot ends.
+func (s *SDRAM) WritebackLineAt(t sim.Time, addr Addr, src []byte) (end sim.Time) {
+	end = s.ReserveLineAt(t, addr)
+	s.LineWBs++
+	s.WriteBlock(addr, src)
+	return end
+}
+
+// ReserveLineWB books bus time for a line writeback whose data has already
+// been deposited in the RAM (caches write their backing store directly);
+// only the timing and the counter remain. It returns when the slot ends.
+func (s *SDRAM) ReserveLineWB(t sim.Time, addr Addr) (end sim.Time) {
+	end = s.ReserveLineAt(t, addr)
+	s.LineWBs++
+	return end
+}
+
+// TestAndSet32 performs an atomic test-and-set on a word: it reads the old
+// value and, if zero, writes v, all within one bus slot. Because bus slots
+// are disjoint and data moves at the end of the requester's slot, two
+// concurrent TAS operations serialize in bus-grant order, which gives the
+// atomicity a hardware exclusive bus transaction provides. This is the
+// primitive of the centralized-lock baseline.
+func (s *SDRAM) TestAndSet32(p *sim.Proc, addr Addr, v uint32) (old uint32, stall sim.Time) {
+	stall = s.AccessWord(p, addr)
+	s.WordReads++
+	old = s.Read32(addr)
+	if old == 0 {
+		s.WordWrites++
+		s.Write32(addr, v)
+	}
+	return old, stall
+}
+
+// Local is a tile's dual-port local memory: the owning core reads and
+// writes it in a single cycle; the NoC delivers remote writes through the
+// second port without stalling the core.
+type Local struct {
+	*RAM
+	Tile int
+
+	// Stats.
+	CoreReads  uint64
+	CoreWrites uint64
+	NoCWrites  uint64
+}
+
+// NewLocal returns tile-local memory for the given tile.
+func NewLocal(tile int, base Addr, size int) *Local {
+	return &Local{RAM: NewRAM(base, size), Tile: tile}
+}
+
+// CoreRead32 is a single-cycle word read by the owning core.
+func (l *Local) CoreRead32(p *sim.Proc, addr Addr) uint32 {
+	p.Wait(1)
+	l.CoreReads++
+	return l.Read32(addr)
+}
+
+// CoreWrite32 is a single-cycle word write by the owning core.
+func (l *Local) CoreWrite32(p *sim.Proc, addr Addr, v uint32) {
+	p.Wait(1)
+	l.CoreWrites++
+	l.Write32(addr, v)
+}
+
+// NoCWriteBlock applies a block write arriving over the NoC port. It is
+// untimed here; delivery timing is the NoC's job.
+func (l *Local) NoCWriteBlock(addr Addr, src []byte) {
+	l.NoCWrites++
+	l.WriteBlock(addr, src)
+}

@@ -1,0 +1,65 @@
+package mem
+
+import "pmc/internal/sim"
+
+// This file holds the banked SDRAM timing model. The paper's platform uses
+// a pipelined DDR memory controller: independent banks overlap row access
+// while a single data channel serializes transfers. We model exactly that
+// two-stage structure: an access reserves its bank for the access latency
+// (WordLat or LineLat), then the shared channel for the transfer
+// (ChannelWordLat or ChannelLineLat). With one bank the model degenerates
+// to the single-bus behaviour.
+
+// bankFor routes an address to a bank, interleaved at line granularity so
+// consecutive lines hit different banks.
+func (s *SDRAM) bankFor(addr Addr) *sim.Resource {
+	if len(s.banks) == 1 {
+		return s.banks[0]
+	}
+	idx := (uint32(addr) / uint32(s.Cfg.LineSize)) % uint32(len(s.banks))
+	return s.banks[idx]
+}
+
+// reserve books bank service then channel transfer, starting no earlier
+// than t, and returns when the data is on the requester's side.
+func (s *SDRAM) reserve(t sim.Time, addr Addr, bankLat, chanLat sim.Time) (end sim.Time) {
+	_, bankEnd := s.bankFor(addr).Reserve(t, bankLat)
+	_, end = s.Channel.Reserve(bankEnd, chanLat)
+	return end
+}
+
+// AccessWord performs a timed single-word access on behalf of p and
+// returns the stall cycles. The data movement is the caller's concern.
+func (s *SDRAM) AccessWord(p *sim.Proc, addr Addr) (stall sim.Time) {
+	t0 := p.Now()
+	p.WaitUntil(s.reserve(t0, addr, s.Cfg.WordLat, s.Cfg.ChannelWordLat))
+	return p.Now() - t0
+}
+
+// AccessLine performs a timed line-burst access on behalf of p.
+func (s *SDRAM) AccessLine(p *sim.Proc, addr Addr) (stall sim.Time) {
+	t0 := p.Now()
+	p.WaitUntil(s.reserve(t0, addr, s.Cfg.LineLat, s.Cfg.ChannelLineLat))
+	return p.Now() - t0
+}
+
+// ReserveWordAt books a posted word access starting at or after t and
+// returns its completion time (when the data lands).
+func (s *SDRAM) ReserveWordAt(t sim.Time, addr Addr) (end sim.Time) {
+	return s.reserve(t, addr, s.Cfg.WordLat, s.Cfg.ChannelWordLat)
+}
+
+// ReserveLineAt books a posted line access starting at or after t.
+func (s *SDRAM) ReserveLineAt(t sim.Time, addr Addr) (end sim.Time) {
+	return s.reserve(t, addr, s.Cfg.LineLat, s.Cfg.ChannelLineLat)
+}
+
+// Grants returns the total number of bank reservations (the contention
+// metric the lock ablation reports).
+func (s *SDRAM) Grants() uint64 {
+	var n uint64
+	for _, b := range s.banks {
+		n += b.Grants
+	}
+	return n
+}

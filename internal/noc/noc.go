@@ -1,0 +1,231 @@
+// Package noc models the connectionless, write-only network-on-chip of the
+// simulated SoC (paper Fig. 7, ref [16]): a tile may write into any other
+// tile's local memory, but may not read remote memories. Writes are posted —
+// the sender continues after injecting the message — and each (source,
+// destination) flow delivers in FIFO order, which is the ordering property
+// the DSM backend's coherence and the distributed lock's grant protocol rely
+// on.
+//
+// The topology is a bidirectional ring by default (hop count = shortest ring
+// distance), matching the modest many-core NoCs the paper targets; the hop
+// latency and per-flit serialization are configurable.
+package noc
+
+import (
+	"fmt"
+
+	"pmc/internal/mem"
+	"pmc/internal/sim"
+)
+
+// Topology selects the interconnect shape.
+type Topology uint8
+
+const (
+	// TopoRing is a bidirectional ring (the default).
+	TopoRing Topology = iota
+	// TopoMesh is a 2-D mesh with XY routing; the mesh is the smallest
+	// square that fits the tile count.
+	TopoMesh
+)
+
+// String names the topology.
+func (t Topology) String() string {
+	if t == TopoMesh {
+		return "mesh"
+	}
+	return "ring"
+}
+
+// Config sets the network's size and timing.
+type Config struct {
+	Tiles    int      // number of tiles
+	HopLat   sim.Time // cycles per hop
+	FlitSize int      // payload bytes carried per flit cycle
+	InjLat   sim.Time // fixed injection (network-interface) latency
+	Topology Topology // ring (default) or 2-D mesh
+}
+
+// DefaultConfig matches the 32-tile system of the paper.
+func DefaultConfig() Config {
+	return Config{Tiles: 32, HopLat: 2, FlitSize: 4, InjLat: 2}
+}
+
+// Stats counts network activity.
+type Stats struct {
+	Messages uint64
+	Bytes    uint64
+	FlitHops uint64 // flits × hops, a proxy for link energy/occupancy
+}
+
+// Network is the write-only interconnect. Delivery mutates destination
+// local memory (or runs an arbitrary closure for control messages such as
+// lock grants) at the computed arrival time.
+type Network struct {
+	k      *sim.Kernel
+	cfg    Config
+	locals []*mem.Local
+
+	// lastArrival[src*Tiles+dst] enforces per-flow FIFO delivery.
+	lastArrival []sim.Time
+	// meshW is the mesh edge length (TopoMesh only).
+	meshW int
+
+	stats Stats
+}
+
+// New returns a network over the given per-tile local memories. locals[i]
+// is tile i's memory; len(locals) must equal cfg.Tiles.
+func New(k *sim.Kernel, cfg Config, locals []*mem.Local) *Network {
+	if len(locals) != cfg.Tiles {
+		panic(fmt.Sprintf("noc: %d locals for %d tiles", len(locals), cfg.Tiles))
+	}
+	if cfg.FlitSize <= 0 || cfg.Tiles <= 0 {
+		panic("noc: bad config")
+	}
+	n := &Network{
+		k:           k,
+		cfg:         cfg,
+		locals:      locals,
+		lastArrival: make([]sim.Time, cfg.Tiles*cfg.Tiles),
+	}
+	if cfg.Topology == TopoMesh {
+		n.meshW = 1
+		for n.meshW*n.meshW < cfg.Tiles {
+			n.meshW++
+		}
+	}
+	return n
+}
+
+// Config returns the network configuration.
+func (n *Network) Config() Config { return n.cfg }
+
+// Stats returns a copy of the counters.
+func (n *Network) Stats() Stats { return n.stats }
+
+// Hops returns the routing distance between two tiles: shortest ring
+// distance, or Manhattan distance under XY routing on the mesh.
+func (n *Network) Hops(src, dst int) int {
+	if n.cfg.Topology == TopoMesh {
+		sx, sy := src%n.meshW, src/n.meshW
+		dx, dy := dst%n.meshW, dst/n.meshW
+		return abs(sx-dx) + abs(sy-dy)
+	}
+	d := src - dst
+	if d < 0 {
+		d = -d
+	}
+	if r := n.cfg.Tiles - d; r < d {
+		d = r
+	}
+	return d
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// latency returns the head-arrival latency for a payload of size bytes.
+func (n *Network) latency(src, dst, size int) sim.Time {
+	flits := (size + n.cfg.FlitSize - 1) / n.cfg.FlitSize
+	if flits == 0 {
+		flits = 1
+	}
+	return n.cfg.InjLat + sim.Time(n.Hops(src, dst))*n.cfg.HopLat + sim.Time(flits-1)
+}
+
+// ControlLatency returns the head-arrival latency of a control message of
+// the given size, without injecting anything. Lock-transfer protocols use
+// it to compute multi-hop handoff schedules.
+func (n *Network) ControlLatency(src, dst, size int) sim.Time {
+	if src == dst {
+		return n.cfg.InjLat
+	}
+	return n.latency(src, dst, size)
+}
+
+// arrival computes and records the FIFO-respecting delivery time of a new
+// message on flow src→dst injected at base.
+func (n *Network) arrivalAt(base sim.Time, src, dst, size int) sim.Time {
+	at := base + n.latency(src, dst, size)
+	idx := src*n.cfg.Tiles + dst
+	if at <= n.lastArrival[idx] {
+		at = n.lastArrival[idx] + 1
+	}
+	n.lastArrival[idx] = at
+	flits := (size + n.cfg.FlitSize - 1) / n.cfg.FlitSize
+	if flits == 0 {
+		flits = 1
+	}
+	n.stats.Messages++
+	n.stats.Bytes += uint64(size)
+	n.stats.FlitHops += uint64(flits * n.Hops(src, dst))
+	return at
+}
+
+// arrival injects at the current time.
+func (n *Network) arrival(src, dst, size int) sim.Time {
+	return n.arrivalAt(n.k.Now(), src, dst, size)
+}
+
+// PostWriteDelayed is PostWrite with injection deferred until earliest (at
+// least the current time): the data snapshot is still taken at delivery
+// scheduling time by the caller-provided source, so callers that need a
+// later snapshot should capture it themselves. It returns the delivery
+// time. Lock-transfer handoffs use it to model "notify previous owner,
+// previous owner pushes the object".
+func (n *Network) PostWriteDelayed(src, dst int, addr mem.Addr, data []byte, earliest sim.Time) (deliveredAt sim.Time) {
+	if src == dst {
+		panic("noc: remote write to own tile (use the core port)")
+	}
+	base := n.k.Now()
+	if earliest > base {
+		base = earliest
+	}
+	at := n.arrivalAt(base, src, dst, len(data))
+	buf := append([]byte(nil), data...)
+	n.k.ScheduleAt(at, func() { n.locals[dst].NoCWriteBlock(addr, buf) })
+	return at
+}
+
+// PostWrite injects a posted remote write of data into dst's local memory at
+// address addr. The sender does not stall; the write becomes visible in the
+// destination memory at the returned delivery time.
+func (n *Network) PostWrite(src, dst int, addr mem.Addr, data []byte) (deliveredAt sim.Time) {
+	if src == dst {
+		panic("noc: remote write to own tile (use the core port)")
+	}
+	at := n.arrival(src, dst, len(data))
+	buf := append([]byte(nil), data...) // snapshot sender's data now
+	n.k.ScheduleAt(at, func() { n.locals[dst].NoCWriteBlock(addr, buf) })
+	return at
+}
+
+// PostWrite32 injects a posted single-word remote write.
+func (n *Network) PostWrite32(src, dst int, addr mem.Addr, v uint32) sim.Time {
+	var b [4]byte
+	b[0], b[1], b[2], b[3] = byte(v), byte(v>>8), byte(v>>16), byte(v>>24)
+	return n.PostWrite(src, dst, addr, b[:])
+}
+
+// PostControl injects a control message (e.g. a lock request) delivered by
+// running fn at the destination at the computed arrival time. size models
+// the message's payload for timing. Control messages share each flow's FIFO
+// order with data writes, so "write the data, then send the grant" works.
+func (n *Network) PostControl(src, dst, size int, fn func()) (deliveredAt sim.Time) {
+	var at sim.Time
+	if src == dst {
+		// Local control messages skip the network but still take the
+		// injection latency (network-interface turnaround).
+		at = n.k.Now() + n.cfg.InjLat
+		n.stats.Messages++
+	} else {
+		at = n.arrival(src, dst, size)
+	}
+	n.k.ScheduleAt(at, fn)
+	return at
+}

@@ -1,0 +1,103 @@
+package rt
+
+import (
+	"testing"
+	"testing/quick"
+
+	"pmc/internal/mem"
+)
+
+// Property tests for the SPM first-fit arena, which backs every scratch-pad
+// scope. Overlapping allocations would silently corrupt staged objects.
+
+func TestArenaAllocRelease(t *testing.T) {
+	var a spmArena
+	a.init(1024)
+	x, ok := a.alloc(100)
+	if !ok || x != 0 {
+		t.Fatalf("first alloc = (%d,%v)", x, ok)
+	}
+	y, ok := a.alloc(200)
+	if !ok || y < 100 {
+		t.Fatalf("second alloc = (%d,%v)", y, ok)
+	}
+	a.release(x, 100)
+	// The freed hole is reusable.
+	z, ok := a.alloc(80)
+	if !ok || z != 0 {
+		t.Fatalf("hole not reused: (%d,%v)", z, ok)
+	}
+}
+
+func TestArenaExhaustion(t *testing.T) {
+	var a spmArena
+	a.init(256)
+	if _, ok := a.alloc(300); ok {
+		t.Fatal("oversized allocation succeeded")
+	}
+	p, _ := a.alloc(256)
+	if _, ok := a.alloc(4); ok {
+		t.Fatal("allocation from a full arena succeeded")
+	}
+	a.release(p, 256)
+	if _, ok := a.alloc(256); !ok {
+		t.Fatal("full release did not coalesce back to capacity")
+	}
+}
+
+func TestArenaCoalescing(t *testing.T) {
+	var a spmArena
+	a.init(512)
+	p1, _ := a.alloc(128)
+	p2, _ := a.alloc(128)
+	p3, _ := a.alloc(128)
+	// Release out of order: middle, then its neighbours.
+	a.release(p2, 128)
+	a.release(p1, 128)
+	a.release(p3, 128)
+	// All 512 bytes (384 released + 128 tail) must be one span again.
+	if _, ok := a.alloc(512); !ok {
+		t.Fatal("fragmented after out-of-order release: coalescing broken")
+	}
+}
+
+// Property: any interleaving of allocations and releases never hands out
+// overlapping spans, and releasing everything restores full capacity.
+func TestArenaNoOverlapProperty(t *testing.T) {
+	type live struct {
+		base mem.Addr
+		size int
+	}
+	prop := func(ops []uint8) bool {
+		var a spmArena
+		a.init(2048)
+		var spans []live
+		for _, op := range ops {
+			if op%3 != 0 && len(spans) > 0 { // release one
+				i := int(op) % len(spans)
+				a.release(spans[i].base, spans[i].size)
+				spans = append(spans[:i], spans[i+1:]...)
+				continue
+			}
+			size := int(op%15)*16 + 16
+			base, ok := a.alloc(size)
+			if !ok {
+				continue
+			}
+			for _, s := range spans {
+				if base < s.base+mem.Addr(s.size) && s.base < base+mem.Addr(size) {
+					return false // overlap
+				}
+			}
+			spans = append(spans, live{base, size})
+		}
+		for _, s := range spans {
+			a.release(s.base, s.size)
+		}
+		_, ok := a.alloc(2048)
+		return ok
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

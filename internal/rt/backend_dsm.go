@@ -1,0 +1,129 @@
+package rt
+
+import (
+	"pmc/internal/lock"
+	"pmc/internal/mem"
+	"pmc/internal/sim"
+	"pmc/internal/soc"
+)
+
+// dsmBackend implements the distributed-shared-memory architecture of
+// Table II's third column: every tile holds a full replica of the shared
+// heap in its local memory, and the SDRAM is not used for shared data.
+// Reads and writes touch only the tile's own replica (single-cycle);
+// coherence is maintained purely with remote writes over the write-only
+// NoC:
+//
+//   - exit_x is lazy: modifications stay in the local replica;
+//   - when an object's lock is transferred to another tile, the previous
+//     owner writes its version of the object into the acquirer's local
+//     memory before the grant is delivered ("the local version of the
+//     object is written to the local memory of the acquiring processor");
+//   - flush(X) broadcasts the object to every other tile's replica, which
+//     is what lets concurrent read-only observers (pollers) eventually see
+//     updates;
+//   - entry_ro locks multi-word objects; word-sized objects are read
+//     lock-free from the local replica — the property the paper's FIFO
+//     exploits ("the read and write pointers are only polled from local
+//     memory, which is fast and does not influence the execution of other
+//     processors").
+type dsmBackend struct {
+	lastWriter map[int]int // object ID -> tile that last held it exclusively
+}
+
+// DSM returns the distributed-shared-memory backend (Section VI-B).
+func DSM() Backend { return &dsmBackend{lastWriter: make(map[int]int)} }
+
+func (b *dsmBackend) Name() string { return "dsm" }
+
+// replicaAddr returns the address of o's replica inside tile t's local
+// memory: the shared heap maps 1:1 into each local memory.
+func (b *dsmBackend) replicaAddr(t int, o *Object) mem.Addr {
+	return soc.LocalAddr(t, o.Addr)
+}
+
+func (b *dsmBackend) Init(rt *Runtime) {
+	if rt.Sys.DLock == nil {
+		panic("rt: the dsm backend needs the distributed lock")
+	}
+	net := rt.Sys.Net
+	// Lock transfer carries the object data: home notifies the previous
+	// owner, the previous owner pushes its version into the acquirer's
+	// replica, and the grant follows once the data has landed.
+	rt.Sys.DLock.OnTransfer = func(lockID, from, to int, t sim.Time) sim.Time {
+		o := rt.ObjectByLock(lockID)
+		if o == nil || from == lock.NoHolder || from == to {
+			return t
+		}
+		home := rt.Sys.DLock.Home(lockID)
+		notifyAt := t + net.ControlLatency(home, from, 8)
+		buf := make([]byte, o.WordCount()*4)
+		rt.Sys.Locals[from].ReadBlock(b.replicaAddr(from, o), buf)
+		deliveredAt := net.PostWriteDelayed(from, to, b.replicaAddr(to, o), buf, notifyAt)
+		return deliveredAt
+	}
+}
+
+// initReplicas pre-loads every tile's replica (setup, outside simulated
+// time).
+func (b *dsmBackend) initReplicas(rt *Runtime, o *Object, words []uint32) {
+	for t := range rt.Sys.Locals {
+		for i, w := range words {
+			rt.Sys.Locals[t].Write32(b.replicaAddr(t, o)+mem.Addr(4*i), w)
+		}
+	}
+}
+
+func (b *dsmBackend) EntryX(c *Ctx, o *Object) {
+	c.T.AcquireLock(c.P, o.LockID)
+	b.lastWriter[o.ID] = c.T.ID
+}
+
+func (b *dsmBackend) ExitX(c *Ctx, o *Object) {
+	// Lazy release: nothing to publish; the transfer hook moves data
+	// when the lock next changes tiles.
+	c.T.ReleaseLock(c.P, o.LockID)
+}
+
+func (b *dsmBackend) EntryRO(c *Ctx, o *Object) {
+	if o.Size > AtomicSize {
+		c.T.AcquireLock(c.P, o.LockID)
+		c.scopes[o].locked = true
+	}
+}
+
+func (b *dsmBackend) ExitRO(c *Ctx, o *Object) {
+	if c.scopes[o].locked {
+		c.T.ReleaseLock(c.P, o.LockID)
+	}
+}
+
+func (b *dsmBackend) Fence(c *Ctx) {
+	// In-order core, local-memory accesses complete in order: compiler
+	// barrier only.
+}
+
+// Flush broadcasts the object from the caller's replica to all other
+// tiles: one posted remote write per destination. The core pays the
+// injection cost per message; delivery is asynchronous (best effort, as
+// the model requires).
+func (b *dsmBackend) Flush(c *Ctx, o *Object) {
+	buf := make([]byte, o.WordCount()*4)
+	c.T.Local.ReadBlock(b.replicaAddr(c.T.ID, o), buf)
+	for t := range c.rt.Sys.Locals {
+		if t == c.T.ID {
+			continue
+		}
+		// Injection occupies the core for a cycle per message.
+		c.T.Exec(c.P, 1)
+		c.rt.Sys.Net.PostWrite(c.T.ID, t, b.replicaAddr(t, o), buf)
+	}
+}
+
+func (b *dsmBackend) Read32(c *Ctx, o *Object, off int) uint32 {
+	return c.T.ReadLocal32(c.P, b.replicaAddr(c.T.ID, o)+mem.Addr(off))
+}
+
+func (b *dsmBackend) Write32(c *Ctx, o *Object, off int, v uint32) {
+	c.T.WriteLocal32(c.P, b.replicaAddr(c.T.ID, o)+mem.Addr(off), v)
+}

@@ -1,0 +1,243 @@
+package rt
+
+import (
+	"strings"
+	"testing"
+
+	"pmc/internal/lock"
+	"pmc/internal/sim"
+)
+
+// This file injects protocol faults: it disables one Table II mechanism at
+// a time and asserts that the system observably breaks — wrong results,
+// model violations from the recorder, or livelock caught by the watchdog.
+// Every mechanism the paper prescribes is load-bearing.
+
+// faulty wraps a backend and selectively disables protocol steps.
+type faulty struct {
+	Backend
+	skipExitFlush bool // swcc: release without flushing the object
+	skipROFlush   bool // swcc: exit_ro without invalidating the lines
+	skipFlush     bool // any: flush() does nothing
+	dropTransfer  bool // dsm: lock transfer does not move the data
+}
+
+func (f *faulty) ExitX(c *Ctx, o *Object) {
+	if f.skipExitFlush {
+		c.T.ReleaseLock(c.P, o.LockID) // no flush: dirty data stays cached
+		return
+	}
+	f.Backend.ExitX(c, o)
+}
+
+func (f *faulty) ExitRO(c *Ctx, o *Object) {
+	if f.skipROFlush {
+		if c.scopes[o].locked {
+			c.T.ReleaseLock(c.P, o.LockID)
+		}
+		return // lines stay resident: future polls read stale data
+	}
+	f.Backend.ExitRO(c, o)
+}
+
+func (f *faulty) Flush(c *Ctx, o *Object) {
+	if f.skipFlush {
+		return
+	}
+	f.Backend.Flush(c, o)
+}
+
+func (f *faulty) Init(rt *Runtime) {
+	f.Backend.Init(rt)
+	if f.dropTransfer && rt.Sys.DLock != nil {
+		// Erase the data-carrying transfer hook the dsm backend set.
+		rt.Sys.DLock.OnTransfer = func(lockID, from, to int, t sim.Time) sim.Time { return t }
+	}
+}
+
+func (f *faulty) Name() string { return f.Backend.Name() + "-faulty" }
+
+// counterWorkload increments a shared counter from every tile and returns
+// the final value and the recorder.
+func counterWorkload(t *testing.T, b Backend, tiles, iters int, maxCycles sim.Time) (uint32, *Recorder, error) {
+	t.Helper()
+	sys := testSys(t, tiles)
+	if maxCycles != 0 {
+		sys.K.MaxTime = maxCycles
+	}
+	r := New(sys, b)
+	rec := NewRecorder(r)
+	ctr := r.Alloc("counter", 4)
+	for i := 0; i < tiles; i++ {
+		r.Spawn(i, "incr", func(c *Ctx) {
+			for n := 0; n < iters; n++ {
+				c.EntryX(ctr)
+				c.Write32(ctr, 0, c.Read32(ctr, 0)+1)
+				c.ExitX(ctr)
+				c.Compute(25)
+			}
+		})
+	}
+	err := r.Run()
+	return r.ReadObjectWord(ctr, 0), rec, err
+}
+
+// TestFaultSWCCMissingExitFlush: without the exit_x flush, a later owner
+// reads stale SDRAM data and increments are lost. The recorder must flag
+// the stale read as a model violation.
+func TestFaultSWCCMissingExitFlush(t *testing.T) {
+	got, rec, err := counterWorkload(t, &faulty{Backend: SWCC(), skipExitFlush: true}, 4, 8, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got == 32 {
+		t.Fatal("fault had no effect: counter is correct without the exit flush")
+	}
+	if rec.Err() == nil {
+		t.Fatal("recorder did not flag the stale reads")
+	}
+	if !strings.Contains(rec.Errors[0], "not readable") {
+		t.Fatalf("unexpected violation text: %s", rec.Errors[0])
+	}
+	// The healthy protocol passes the identical workload.
+	got, rec, err = counterWorkload(t, SWCC(), 4, 8, 0)
+	if err != nil || got != 32 || rec.Err() != nil {
+		t.Fatalf("healthy run broken: got=%d err=%v recErr=%v", got, err, rec.Err())
+	}
+}
+
+// TestFaultSWCCMissingROInvalidate: if exit_ro leaves the lines resident,
+// a polling reader never observes the flag flip — livelock, caught by the
+// watchdog.
+func TestFaultSWCCMissingROInvalidate(t *testing.T) {
+	sys := testSys(t, 2)
+	sys.K.MaxTime = 300_000
+	r := New(sys, &faulty{Backend: SWCC(), skipROFlush: true})
+	flag := r.Alloc("flag", 4)
+	r.Spawn(0, "reader", func(c *Ctx) {
+		pollUntil(c, flag, 1) // first poll caches 0; never invalidated
+	})
+	r.Spawn(1, "writer", func(c *Ctx) {
+		c.Compute(500) // let the reader cache the stale value first
+		c.EntryX(flag)
+		c.Write32(flag, 0, 1)
+		c.Flush(flag)
+		c.ExitX(flag)
+	})
+	err := r.Run()
+	if err == nil || !strings.Contains(err.Error(), "watchdog") {
+		t.Fatalf("expected watchdog livelock, got %v", err)
+	}
+}
+
+// TestFaultDSMDroppedTransfer: without the data push at lock transfer, the
+// new owner computes on its stale replica. Increments are lost and the
+// recorder flags it.
+func TestFaultDSMDroppedTransfer(t *testing.T) {
+	got, rec, err := counterWorkload(t, &faulty{Backend: DSM(), dropTransfer: true}, 4, 8, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got == 32 {
+		t.Fatal("fault had no effect: counter correct without the transfer push")
+	}
+	if rec.Err() == nil {
+		t.Fatal("recorder did not flag the stale replica reads")
+	}
+}
+
+// TestFaultDSMDroppedFlush: flush is the only way a DSM poller learns about
+// a flag; dropping it livelocks the reader.
+func TestFaultDSMDroppedFlush(t *testing.T) {
+	sys := testSys(t, 4)
+	sys.K.MaxTime = 300_000
+	r := New(sys, &faulty{Backend: DSM(), skipFlush: true})
+	flag := r.Alloc("flag", 4)
+	r.Spawn(2, "reader", func(c *Ctx) {
+		pollUntil(c, flag, 1) // polls its local replica forever
+	})
+	r.Spawn(0, "writer", func(c *Ctx) {
+		c.EntryX(flag)
+		c.Write32(flag, 0, 1)
+		c.Flush(flag) // dropped by the fault
+		c.ExitX(flag)
+	})
+	err := r.Run()
+	if err == nil || !strings.Contains(err.Error(), "watchdog") {
+		t.Fatalf("expected watchdog livelock, got %v", err)
+	}
+}
+
+// TestFaultyBackendStillLocks sanity-checks the wrapper: mutual exclusion
+// is intact even with the flush faults, so the failures above are purely
+// coherence failures, not lock failures.
+func TestFaultyBackendStillLocks(t *testing.T) {
+	sys := testSys(t, 4)
+	b := &faulty{Backend: SWCC(), skipExitFlush: true}
+	r := New(sys, b)
+	o := r.Alloc("obj", 4)
+	inCS := false
+	for i := 0; i < 4; i++ {
+		r.Spawn(i, "w", func(c *Ctx) {
+			for n := 0; n < 5; n++ {
+				c.EntryX(o)
+				if inCS {
+					t.Error("mutual exclusion violated")
+				}
+				inCS = true
+				c.Compute(20)
+				inCS = false
+				c.ExitX(o)
+			}
+		})
+	}
+	if err := r.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestScopedFenceVerified: the writer of the message-passing pattern can
+// use the cheaper location-scoped fence (Section IV-D) on X; the run still
+// verifies against the model.
+func TestScopedFenceVerified(t *testing.T) {
+	sys := testSys(t, 2)
+	r := New(sys, SWCC())
+	rec := NewRecorder(r)
+	x := r.Alloc("X", 4)
+	f := r.Alloc("f", 4)
+	var got uint32
+	r.Spawn(0, "writer", func(c *Ctx) {
+		c.EntryX(x)
+		c.Write32(x, 0, 42)
+		c.FenceObj(x) // scoped: orders only X, which is all this fence needs
+		c.ExitX(x)
+		c.EntryX(f)
+		c.Write32(f, 0, 1)
+		c.Flush(f)
+		c.ExitX(f)
+	})
+	r.Spawn(1, "reader", func(c *Ctx) {
+		pollUntil(c, f, 1)
+		c.Fence() // the reader's fence spans f and X: must stay global
+		c.EntryX(x)
+		got = c.Read32(x, 0)
+		c.ExitX(x)
+	})
+	if err := r.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got != 42 {
+		t.Fatalf("got %d, want 42", got)
+	}
+	if err := rec.Err(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLockNoHolderConstant guards the assumption the fault wrapper makes
+// about the lock package API.
+func TestLockNoHolderConstant(t *testing.T) {
+	if lock.NoHolder != -1 {
+		t.Fatal("NoHolder changed; transfer-hook fault injection assumes -1")
+	}
+}

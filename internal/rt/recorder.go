@@ -1,0 +1,233 @@
+package rt
+
+import (
+	"fmt"
+
+	"pmc/internal/core"
+	"pmc/internal/mem"
+)
+
+// Recorder mirrors a simulated run into the formal PMC model
+// (internal/core) and verifies, read by read, that the value the simulated
+// memory system actually returned is one the model permits. It is the
+// differential-testing bridge between the paper's Section IV (the model)
+// and Section V (the implementations).
+//
+// Granularity: each 32-bit word of an annotated object is one model
+// location, and entry_x/exit_x issue an acquire/release per word — the
+// model's treatment of multi-byte objects protected by one mutex
+// (Section V-A). Objects larger than MaxWords are not recorded (the model
+// is O(n²); the recorder is a test tool for small configurations).
+//
+// For the SPM backend, in-scope reads and writes touch the staged local
+// copy, so the recorder maps the staging copy-in to model reads and the
+// copy-back to model writes instead (see recordStage/recordUnstage).
+type Recorder struct {
+	Exec *core.Execution
+	// MaxWords bounds recorded object size.
+	MaxWords int
+	// Errors collects model violations (reads returning values the
+	// model forbids).
+	Errors []string
+
+	locs map[int][]core.Loc // object ID -> per-word locations
+	rt   *Runtime
+}
+
+// NewRecorder attaches a fresh recorder to rt. Call before allocating
+// objects.
+func NewRecorder(rt *Runtime) *Recorder {
+	r := &Recorder{
+		Exec:     core.NewExecution(),
+		MaxWords: 64,
+		locs:     make(map[int][]core.Loc),
+		rt:       rt,
+	}
+	rt.Recorder = r
+	return r
+}
+
+// setupProc is the model process used for InitObject pre-loading.
+const setupProc core.ProcID = 1 << 20
+
+func (r *Recorder) addObject(o *Object) {
+	if o.WordCount() > r.MaxWords {
+		return
+	}
+	ls := make([]core.Loc, o.WordCount())
+	for i := range ls {
+		ls[i] = r.Exec.AddLoc(fmt.Sprintf("%s[%d]", o.Name, i))
+	}
+	r.locs[o.ID] = ls
+}
+
+func (r *Recorder) initObject(o *Object, words []uint32) {
+	ls, ok := r.locs[o.ID]
+	if !ok {
+		return
+	}
+	for i, w := range words {
+		r.Exec.Acquire(setupProc, ls[i])
+		r.Exec.Write(setupProc, ls[i], core.Value(w))
+		r.Exec.Release(setupProc, ls[i])
+	}
+}
+
+func (r *Recorder) proc(c *Ctx) core.ProcID { return core.ProcID(c.T.ID) }
+
+func (r *Recorder) spm() bool { return r.rt.B.Name() == "spm" }
+
+func (r *Recorder) acquire(c *Ctx, o *Object) {
+	ls, ok := r.locs[o.ID]
+	if !ok {
+		return
+	}
+	for _, l := range ls {
+		r.Exec.Acquire(r.proc(c), l)
+	}
+	if r.spm() {
+		r.recordStage(c, o)
+	}
+}
+
+func (r *Recorder) release(c *Ctx, o *Object) {
+	ls, ok := r.locs[o.ID]
+	if !ok {
+		return
+	}
+	if r.spm() {
+		r.recordUnstage(c, o)
+	}
+	for _, l := range ls {
+		r.Exec.Release(r.proc(c), l)
+	}
+}
+
+func (r *Recorder) enterRO(c *Ctx, o *Object) {
+	ls, ok := r.locs[o.ID]
+	if !ok {
+		return
+	}
+	// Record what the implementation does: multi-word entry_ro takes
+	// the object's lock (SWCC/DSM hold it for the scope; SPM only for
+	// the copy, which recordStage models by releasing immediately).
+	locked := o.Size > AtomicSize
+	if locked {
+		for _, l := range ls {
+			r.Exec.Acquire(r.proc(c), l)
+		}
+	}
+	if r.spm() {
+		r.recordStage(c, o)
+		if locked {
+			for _, l := range ls {
+				r.Exec.Release(r.proc(c), l)
+			}
+		}
+	}
+}
+
+func (r *Recorder) exitRO(c *Ctx, o *Object) {
+	ls, ok := r.locs[o.ID]
+	if !ok {
+		return
+	}
+	if r.spm() {
+		// The lock (if any) was already released after the copy.
+		return
+	}
+	if o.Size > AtomicSize {
+		for _, l := range ls {
+			r.Exec.Release(r.proc(c), l)
+		}
+	}
+}
+
+func (r *Recorder) fence(c *Ctx) {
+	r.Exec.Fence(r.proc(c))
+}
+
+// fenceObj records a location-scoped fence: one model fence per word
+// location of the object.
+func (r *Recorder) fenceObj(c *Ctx, o *Object) {
+	ls, ok := r.locs[o.ID]
+	if !ok {
+		return
+	}
+	for _, l := range ls {
+		r.Exec.FenceLoc(r.proc(c), l)
+	}
+}
+
+// recordStage models the SPM copy-in: a read of every word with the values
+// the copy captured.
+func (r *Recorder) recordStage(c *Ctx, o *Object) {
+	ls := r.locs[o.ID]
+	for i, l := range ls {
+		v := r.rt.Sys.SDRAM.Read32(o.Addr + mem.Addr(4*i))
+		r.verifyRead(c, o, i, l, v)
+	}
+}
+
+// recordUnstage models the SPM copy-back: a write of every word with the
+// staged copy's current values.
+func (r *Recorder) recordUnstage(c *Ctx, o *Object) {
+	ls := r.locs[o.ID]
+	s, ok := c.scopes[o]
+	if !ok {
+		return
+	}
+	for i, l := range ls {
+		v := c.rt.Sys.Locals[c.T.ID].Read32(s.spmAddr + mem.Addr(4*i))
+		r.Exec.Write(r.proc(c), l, core.Value(v))
+	}
+}
+
+func (r *Recorder) read(c *Ctx, o *Object, off int, v uint32) {
+	ls, ok := r.locs[o.ID]
+	if !ok || r.spm() {
+		return // SPM in-scope reads hit the staged copy (recorded at entry)
+	}
+	r.verifyRead(c, o, off/4, ls[off/4], v)
+}
+
+// verifyRead issues the model read and checks the simulated value against
+// the model's readable set at this state.
+func (r *Recorder) verifyRead(c *Ctx, o *Object, word int, l core.Loc, v uint32) {
+	op := r.Exec.Read(r.proc(c), l, core.Value(v))
+	for _, allowed := range r.Exec.ReadableValues(op.ID) {
+		if allowed == core.Value(v) {
+			return
+		}
+	}
+	r.Errors = append(r.Errors,
+		fmt.Sprintf("tile %d read %s[%d] = %d at cycle %d: value not readable under the PMC model (readable: %v)",
+			c.T.ID, o.Name, word, v, c.P.Now(), r.Exec.ReadableValues(op.ID)))
+}
+
+func (r *Recorder) write(c *Ctx, o *Object, off int, v uint32) {
+	ls, ok := r.locs[o.ID]
+	if !ok || r.spm() {
+		return // SPM in-scope writes are recorded at copy-back
+	}
+	r.Exec.Write(r.proc(c), ls[off/4], core.Value(v))
+}
+
+// CheckWriteOrder verifies the determinism requirement of Section IV-D for
+// every recorded location: all writes in total ≺G order.
+func (r *Recorder) CheckWriteOrder() error {
+	for v := core.Loc(0); int(v) < r.Exec.NumLocs(); v++ {
+		if !r.Exec.WritesTotallyOrderedG(v) {
+			return fmt.Errorf("rt: writes to %s are not totally ordered (data race)", r.Exec.LocName(v))
+		}
+	}
+	return nil
+}
+
+// Err returns the first verification error, or nil.
+func (r *Recorder) Err() error {
+	if len(r.Errors) > 0 {
+		return fmt.Errorf("rt: %d model violations; first: %s", len(r.Errors), r.Errors[0])
+	}
+	return nil
+}

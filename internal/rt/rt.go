@@ -1,0 +1,308 @@
+// Package rt is the PMC runtime: the concrete implementation of the
+// paper's annotations (Section V-A) on the simulated SoC, with one backend
+// per memory architecture of Table II:
+//
+//	nocc — shared data uncached; annotations keep only mutual exclusion
+//	       (this doubles as the sequentially consistent reference, and is
+//	       the "no CC" baseline of Fig. 8);
+//	swcc — software cache coherency over the non-coherent write-back
+//	       caches (Fig. 8's "SWCC"), BACKER-style;
+//	dsm  — distributed shared memory over the write-only NoC: every tile
+//	       holds a replica of the shared heap in its local memory;
+//	spm  — scratch-pad staging: objects are copied into the tile's local
+//	       memory for the duration of a scope and copied back on exit.
+//
+// A single application written against Ctx's annotation API runs unchanged
+// on all four — the PMC approach's portability claim. The runtime also
+// enforces the annotation discipline (reads only inside entry/exit scopes,
+// writes only inside exclusive scopes, flush only inside entry_x/exit_x)
+// and can record every operation into the formal model (internal/core) for
+// differential verification.
+package rt
+
+import (
+	"fmt"
+
+	"pmc/internal/mem"
+	"pmc/internal/sim"
+	"pmc/internal/soc"
+	"pmc/internal/trace"
+)
+
+// Address-space layout inside SDRAM (above the shared heap at 0).
+const (
+	// heapBase is where shared objects are allocated.
+	heapBase = mem.Addr(0x0000_0040)
+	// codeBase is where per-tile code footprints live.
+	codeBase = mem.Addr(0x0100_0000)
+	// codeStride is the per-tile code region size.
+	codeStride = mem.Addr(0x0001_0000)
+	// privBase is where per-tile private heaps (stack/heap analogue)
+	// live: after the code regions (codeBase + 32 tiles × codeStride).
+	privBase = mem.Addr(0x0140_0000)
+	// privStride is the per-tile private heap size.
+	privStride = mem.Addr(0x0004_0000)
+)
+
+// AtomicSize is the largest object the platform reads and writes
+// indivisibly (one 32-bit bus word). The model speaks of bytes; on the
+// 32-bit MicroBlaze an aligned word is indivisible, so entry_ro of objects
+// up to this size needs no lock (Table II's "when the size of the object is
+// one byte, it does nothing", adapted to the platform's atom).
+const AtomicSize = 4
+
+// Object is a shared, annotated object: the unit entry/exit pairs protect.
+// Objects are cache-line aligned and never share a line (Section V-B).
+type Object struct {
+	ID   int
+	Name string
+	Size int
+	// Addr is the canonical SDRAM address.
+	Addr mem.Addr
+	// LockID is the mutex protecting the object.
+	LockID int
+}
+
+// WordCount returns the number of 32-bit words the object spans.
+func (o *Object) WordCount() int { return (o.Size + 3) / 4 }
+
+// Backend implements the annotations for one memory architecture
+// (Table II). All methods run in the calling worker's process context and
+// charge simulated time through the Ctx's tile.
+type Backend interface {
+	Name() string
+	// Init is called once after the runtime is assembled, before any
+	// worker runs (e.g. DSM replica setup, lock transfer hooks).
+	Init(rt *Runtime)
+	EntryX(c *Ctx, o *Object)
+	ExitX(c *Ctx, o *Object)
+	EntryRO(c *Ctx, o *Object)
+	ExitRO(c *Ctx, o *Object)
+	Fence(c *Ctx)
+	Flush(c *Ctx, o *Object)
+	Read32(c *Ctx, o *Object, off int) uint32
+	Write32(c *Ctx, o *Object, off int, v uint32)
+}
+
+// Violation is a breach of the annotation discipline detected at run time.
+type Violation struct {
+	Tile int
+	Op   string
+	Obj  string
+	Msg  string
+}
+
+func (v Violation) Error() string {
+	return fmt.Sprintf("pmc discipline: tile %d: %s(%s): %s", v.Tile, v.Op, v.Obj, v.Msg)
+}
+
+// Runtime binds a simulated system, a backend, and the shared-object table.
+type Runtime struct {
+	Sys *soc.System
+	B   Backend
+
+	objects   []*Object
+	objByLock map[int]*Object
+	heapNext  mem.Addr
+
+	// Recorder, if non-nil, mirrors every annotation and access into the
+	// formal model for differential verification (tests only; O(n²)).
+	Recorder *Recorder
+
+	// Tracer, if non-nil, records scope/fence/flush/lock events for
+	// CSV or Chrome-trace export (internal/trace).
+	Tracer *trace.Trace
+
+	// Strict makes discipline violations panic instead of accumulate.
+	Strict     bool
+	violations []Violation
+
+	workers []*Ctx
+	nextCtx int
+}
+
+// Backends lists the selectable backend names.
+var Backends = []string{"nocc", "swcc", "swcc-lazy", "dsm", "spm"}
+
+// ByName returns a fresh backend by name: nocc, swcc, swcc-lazy, dsm, spm.
+func ByName(name string) (Backend, error) {
+	switch name {
+	case "nocc", "sc":
+		return NoCC(), nil
+	case "swcc":
+		return SWCC(), nil
+	case "swcc-lazy":
+		return SWCCLazy(), nil
+	case "dsm":
+		return DSM(), nil
+	case "spm":
+		return SPM(), nil
+	}
+	return nil, fmt.Errorf("rt: unknown backend %q (have %v)", name, Backends)
+}
+
+// New assembles a runtime over sys with the given backend.
+func New(sys *soc.System, b Backend) *Runtime {
+	rt := &Runtime{
+		Sys:       sys,
+		B:         b,
+		objByLock: make(map[int]*Object),
+		heapNext:  heapBase,
+	}
+	b.Init(rt)
+	return rt
+}
+
+// Alloc creates a shared object of the given size (bytes), cache-line
+// aligned, protected by a fresh lock.
+func (rt *Runtime) Alloc(name string, size int) *Object {
+	if size <= 0 {
+		panic(fmt.Sprintf("rt: Alloc(%q, %d)", name, size))
+	}
+	line := mem.Addr(rt.Sys.Cfg.DCache.LineSize)
+	addr := (rt.heapNext + line - 1) &^ (line - 1)
+	o := &Object{
+		ID:     len(rt.objects),
+		Name:   name,
+		Size:   size,
+		Addr:   addr,
+		LockID: len(rt.objects),
+	}
+	rt.heapNext = addr + mem.Addr((size+int(line)-1)/int(line))*line
+	if int(rt.heapNext) > rt.Sys.Cfg.LocalBytes && rt.B.Name() == "dsm" {
+		panic(fmt.Sprintf("rt: dsm shared heap (%#x) exceeds local memory (%#x): shrink the working set",
+			rt.heapNext, rt.Sys.Cfg.LocalBytes))
+	}
+	if rt.heapNext >= codeBase {
+		panic("rt: shared heap overflows into the code region")
+	}
+	rt.objects = append(rt.objects, o)
+	rt.objByLock[o.LockID] = o
+	if rt.Recorder != nil {
+		rt.Recorder.addObject(o)
+	}
+	return o
+}
+
+// Objects returns the allocation table.
+func (rt *Runtime) Objects() []*Object { return rt.objects }
+
+// ObjectByLock returns the object protected by lockID, or nil.
+func (rt *Runtime) ObjectByLock(lockID int) *Object { return rt.objByLock[lockID] }
+
+// InitObject pre-loads an object's contents before the simulation runs
+// (outside simulated time): canonical SDRAM plus any backend replicas.
+func (rt *Runtime) InitObject(o *Object, words []uint32) {
+	if len(words) > o.WordCount() {
+		panic("rt: InitObject data larger than object")
+	}
+	for i, w := range words {
+		rt.Sys.SDRAM.Write32(o.Addr+mem.Addr(4*i), w)
+	}
+	if d, ok := rt.B.(*dsmBackend); ok {
+		d.initReplicas(rt, o, words)
+	}
+	if rt.Recorder != nil {
+		rt.Recorder.initObject(o, words)
+	}
+}
+
+// ReadObjectWord reads an object's canonical word outside simulated time
+// (for result verification after Run). For DSM the authoritative copy is
+// the replica of the tile that last held the object exclusively.
+func (rt *Runtime) ReadObjectWord(o *Object, wordIdx int) uint32 {
+	if d, ok := rt.B.(*dsmBackend); ok {
+		t := d.lastWriter[o.ID] // zero value: tile 0
+		return rt.Sys.Locals[t].Read32(d.replicaAddr(t, o) + mem.Addr(4*wordIdx))
+	}
+	return rt.Sys.SDRAM.Read32(o.Addr + mem.Addr(4*wordIdx))
+}
+
+// drain writes every dirty cache line back to SDRAM at the data level
+// (zero simulated cost), making SDRAM canonical for post-run verification —
+// the lazy-release SWCC variant legitimately finishes with the latest data
+// still dirty in the last owner's cache. At most one cache holds any line
+// dirty (shared objects are single-writer by the lock discipline, private
+// lines are per tile), so the drain cannot overwrite newer data.
+func (rt *Runtime) drain() {
+	for _, t := range rt.Sys.Tiles {
+		t.DC.FlushAll()
+	}
+}
+
+// Spawn starts a worker on the given tile. body runs in a simulation
+// process; all annotation calls go through the returned/provided Ctx.
+func (rt *Runtime) Spawn(tile int, name string, body func(c *Ctx)) {
+	if tile < 0 || tile >= len(rt.Sys.Tiles) {
+		panic(fmt.Sprintf("rt: Spawn on tile %d of %d", tile, len(rt.Sys.Tiles)))
+	}
+	t := rt.Sys.Tiles[tile]
+	rt.Sys.K.Spawn(name, func(p *sim.Proc) {
+		c := &Ctx{
+			rt:       rt,
+			P:        p,
+			T:        t,
+			scopes:   make(map[*Object]*scope),
+			privNext: privBase + mem.Addr(tile)*privStride,
+		}
+		rt.workers = append(rt.workers, c)
+		body(c)
+		c.finish()
+	})
+}
+
+// Run executes the simulation until completion and returns an error on
+// deadlock, watchdog, or (if any) the first discipline violation.
+func (rt *Runtime) Run() error {
+	if err := rt.Sys.Run(); err != nil {
+		return err
+	}
+	rt.drain()
+	if len(rt.violations) > 0 {
+		return rt.violations[0]
+	}
+	return nil
+}
+
+// Violations returns all detected discipline violations.
+func (rt *Runtime) Violations() []Violation { return rt.violations }
+
+func (rt *Runtime) violate(c *Ctx, op string, o *Object, msg string) {
+	name := "-"
+	if o != nil {
+		name = o.Name
+	}
+	v := Violation{Tile: c.T.ID, Op: op, Obj: name, Msg: msg}
+	if rt.Strict {
+		panic(v.Error())
+	}
+	rt.violations = append(rt.violations, v)
+}
+
+// Barrier is a zero-cost synchronization barrier for orchestrating workload
+// phases outside the measured region (setup, result collection). It is
+// simulation machinery, not a PMC primitive — measured in-application
+// barriers must be built from annotations instead.
+type Barrier struct {
+	n       int
+	waiting []*sim.Proc
+	round   int
+}
+
+// NewBarrier returns a barrier for n workers.
+func (rt *Runtime) NewBarrier(n int) *Barrier { return &Barrier{n: n} }
+
+// Wait blocks until n workers arrive.
+func (b *Barrier) Wait(c *Ctx) {
+	if len(b.waiting)+1 == b.n {
+		ws := b.waiting
+		b.waiting = nil
+		b.round++
+		for _, w := range ws {
+			w.Unpark(nil)
+		}
+		return
+	}
+	b.waiting = append(b.waiting, c.P)
+	c.P.Park()
+}

@@ -1,0 +1,49 @@
+package rt
+
+// This file provides the scoped-annotation helpers of the paper's Fig. 10:
+// C++ wraps entry/exit pairs in constructor/destructor pairs (ScopeRO /
+// ScopeX); the Go equivalent pairs a constructor with a Close method meant
+// for defer. The underlying entry/exit discipline is still checked by the
+// runtime, so a forgotten Close is reported at worker exit.
+
+// ScopeRO is an open read-only scope (entry_ro taken at construction).
+type ScopeRO struct {
+	c *Ctx
+	o *Object
+}
+
+// NewScopeRO opens read-only access to o (entry_ro).
+func NewScopeRO(c *Ctx, o *Object) ScopeRO {
+	c.EntryRO(o)
+	return ScopeRO{c: c, o: o}
+}
+
+// Read32 reads the word at byte offset off.
+func (s ScopeRO) Read32(off int) uint32 { return s.c.Read32(s.o, off) }
+
+// Close issues the exit_ro. Use with defer.
+func (s ScopeRO) Close() { s.c.ExitRO(s.o) }
+
+// ScopeX is an open exclusive scope (entry_x taken at construction).
+type ScopeX struct {
+	c *Ctx
+	o *Object
+}
+
+// NewScopeX opens exclusive access to o (entry_x).
+func NewScopeX(c *Ctx, o *Object) ScopeX {
+	c.EntryX(o)
+	return ScopeX{c: c, o: o}
+}
+
+// Read32 reads the word at byte offset off.
+func (s ScopeX) Read32(off int) uint32 { return s.c.Read32(s.o, off) }
+
+// Write32 writes the word at byte offset off.
+func (s ScopeX) Write32(off int, v uint32) { s.c.Write32(s.o, off, v) }
+
+// Flush forces the object's modifications toward global visibility.
+func (s ScopeX) Flush() { s.c.Flush(s.o) }
+
+// Close issues the exit_x. Use with defer.
+func (s ScopeX) Close() { s.c.ExitX(s.o) }

@@ -1,0 +1,169 @@
+// Package sim provides a deterministic discrete-event simulation kernel.
+//
+// The kernel models simulated time in integer cycles. Simulation activity is
+// expressed either as scheduled events (closures that run at a given cycle)
+// or as processes: goroutines that interleave with the kernel through a
+// strict one-token handshake, so that exactly one goroutine — the kernel or
+// a single process — runs at any moment. Because events are dispatched in
+// (time, sequence) order and processes only advance when resumed by the
+// kernel, a simulation is fully deterministic: the same program produces the
+// same event order, the same final state and the same cycle counts on every
+// run, regardless of GOMAXPROCS.
+//
+// The kernel is the substrate for the SoC model in internal/soc; it knows
+// nothing about memories, caches or networks.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+)
+
+// Time is a point in simulated time, measured in cycles.
+type Time uint64
+
+// Forever is a time later than any reachable simulation time. Parked
+// processes are conceptually waiting until Forever.
+const Forever = Time(^uint64(0))
+
+// event is a closure scheduled to run at a fixed cycle. Events with equal
+// time run in scheduling order (seq).
+type event struct {
+	at  Time
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Kernel is a discrete-event simulation engine. The zero value is not
+// usable; call New.
+type Kernel struct {
+	now    Time
+	events eventHeap
+	seq    uint64
+
+	// yield is the single token returned to the kernel whenever the
+	// currently-running process suspends or terminates.
+	yield chan struct{}
+
+	procs   []*Proc
+	live    int // processes that have not finished
+	parked  int // processes blocked in Park
+	stopped bool
+
+	// MaxTime aborts the run when simulated time would pass it (a
+	// watchdog against livelock in modelled software). Zero means no
+	// limit.
+	MaxTime Time
+}
+
+// New returns a ready-to-run kernel.
+func New() *Kernel {
+	return &Kernel{yield: make(chan struct{})}
+}
+
+// Now returns the current simulated time.
+func (k *Kernel) Now() Time { return k.now }
+
+// Schedule runs fn at the current time plus delay. Events scheduled for the
+// same cycle run in the order they were scheduled.
+func (k *Kernel) Schedule(delay Time, fn func()) {
+	k.ScheduleAt(k.now+delay, fn)
+}
+
+// ScheduleAt runs fn at absolute time t, which must not be in the past.
+func (k *Kernel) ScheduleAt(t Time, fn func()) {
+	if t < k.now {
+		panic(fmt.Sprintf("sim: ScheduleAt(%d) in the past (now %d)", t, k.now))
+	}
+	k.seq++
+	heap.Push(&k.events, &event{at: t, seq: k.seq, fn: fn})
+}
+
+// Spawn creates a process running body in its own goroutine. The process
+// starts at the current simulated time, after already-pending events for
+// this cycle. Spawn may be called before Run or from inside a running
+// process or event.
+func (k *Kernel) Spawn(name string, body func(*Proc)) *Proc {
+	p := &Proc{
+		k:    k,
+		id:   len(k.procs),
+		name: name,
+		wake: make(chan struct{}),
+	}
+	k.procs = append(k.procs, p)
+	k.live++
+	k.ScheduleAt(k.now, func() { p.start(body) })
+	return p
+}
+
+// Procs returns all processes ever spawned, in spawn order.
+func (k *Kernel) Procs() []*Proc { return k.procs }
+
+// Run dispatches events until the event queue is empty or Stop is called.
+// It returns an error on deadlock: the queue drained while unfinished
+// processes remain parked.
+func (k *Kernel) Run() error {
+	for len(k.events) > 0 && !k.stopped {
+		e := heap.Pop(&k.events).(*event)
+		if k.MaxTime != 0 && e.at > k.MaxTime {
+			return fmt.Errorf("sim: watchdog: time %d exceeds MaxTime %d", e.at, k.MaxTime)
+		}
+		k.now = e.at
+		e.fn()
+	}
+	if !k.stopped && k.live > 0 {
+		return fmt.Errorf("sim: deadlock at cycle %d: %d process(es) still blocked: %s",
+			k.now, k.live, k.blockedNames())
+	}
+	return nil
+}
+
+// Stop makes Run return after the current event completes. Remaining events
+// are discarded. It is primarily useful from watchdog events and tests.
+func (k *Kernel) Stop() { k.stopped = true }
+
+func (k *Kernel) blockedNames() string {
+	var names []string
+	for _, p := range k.procs {
+		if !p.done {
+			names = append(names, p.name)
+		}
+	}
+	sort.Strings(names)
+	s := ""
+	for i, n := range names {
+		if i > 0 {
+			s += ", "
+		}
+		s += n
+	}
+	return s
+}
+
+// resume hands the run token to p and blocks until p yields it back.
+// It must only be called from the kernel goroutine (inside an event).
+func (k *Kernel) resume(p *Proc) {
+	p.wake <- struct{}{}
+	<-k.yield
+}

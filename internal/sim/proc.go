@@ -1,0 +1,109 @@
+package sim
+
+import "fmt"
+
+// Proc is a simulation process: a goroutine that advances simulated time by
+// calling Wait and friends and otherwise runs instantaneously in simulated
+// time. All Proc methods must be called from the process's own goroutine
+// (inside the body passed to Spawn); Unpark is the one exception and may be
+// called from anywhere inside the simulation.
+type Proc struct {
+	k    *Kernel
+	id   int
+	name string
+	wake chan struct{}
+
+	done   bool
+	parked bool
+	// unparkHint is set by Unpark and read back by Park so callers can
+	// pass a small token (e.g. who woke us).
+	unparkHint any
+}
+
+// ID returns the process's spawn-order index.
+func (p *Proc) ID() int { return p.id }
+
+// Name returns the name given at Spawn.
+func (p *Proc) Name() string { return p.name }
+
+// Kernel returns the owning kernel.
+func (p *Proc) Kernel() *Kernel { return p.k }
+
+// Now returns the current simulated time.
+func (p *Proc) Now() Time { return p.k.now }
+
+// start runs the body with the handshake protocol. Called by the kernel in
+// an event context.
+func (p *Proc) start(body func(*Proc)) {
+	go func() {
+		defer func() {
+			p.done = true
+			p.k.live--
+			// Return the token: the kernel is blocked in resume.
+			p.k.yield <- struct{}{}
+		}()
+		// Wait for the kernel to hand us the token the first time.
+		<-p.wake
+		body(p)
+	}()
+	p.k.resume(p)
+}
+
+// suspend schedules nothing; it just gives the token back and blocks until
+// the kernel resumes this process.
+func (p *Proc) suspend() {
+	p.k.yield <- struct{}{}
+	<-p.wake
+}
+
+// Wait advances this process's view of time by d cycles. Wait(0) yields the
+// processor: all events already scheduled for the current cycle run first.
+func (p *Proc) Wait(d Time) {
+	p.WaitUntil(p.k.now + d)
+}
+
+// WaitUntil blocks the process until absolute time t (>= now).
+func (p *Proc) WaitUntil(t Time) {
+	if p.done {
+		panic("sim: WaitUntil on finished proc")
+	}
+	if t < p.k.now {
+		panic(fmt.Sprintf("sim: proc %q WaitUntil(%d) in the past (now %d)", p.name, t, p.k.now))
+	}
+	p.k.ScheduleAt(t, func() { p.k.resume(p) })
+	p.suspend()
+}
+
+// Park blocks the process indefinitely until another process or event calls
+// Unpark. It returns the hint passed to Unpark. A process blocked in Park
+// counts towards deadlock detection.
+func (p *Proc) Park() any {
+	if p.parked {
+		panic(fmt.Sprintf("sim: proc %q parked twice", p.name))
+	}
+	p.parked = true
+	p.k.parked++
+	p.suspend()
+	hint := p.unparkHint
+	p.unparkHint = nil
+	return hint
+}
+
+// Unpark schedules the parked process p to resume at the current time with
+// the given hint. It panics if p is not parked; use IsParked to test.
+// Unpark may be called from any event or process context.
+func (p *Proc) Unpark(hint any) {
+	if !p.parked {
+		panic(fmt.Sprintf("sim: Unpark of non-parked proc %q", p.name))
+	}
+	p.parked = false
+	p.k.parked--
+	p.unparkHint = hint
+	p.k.ScheduleAt(p.k.now, func() { p.k.resume(p) })
+}
+
+// IsParked reports whether the process is currently blocked in Park.
+func (p *Proc) IsParked() bool { return p.parked }
+
+// Done reports whether the process body has returned.
+func (p *Proc) Done() bool { return p.done }

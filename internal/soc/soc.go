@@ -1,0 +1,182 @@
+// Package soc assembles the simulated many-core system of the paper's
+// Fig. 7: n tiles, each with an in-order MicroBlaze-like core, a private
+// I-cache and non-coherent write-back D-cache, and a dual-port local
+// memory; a shared SDRAM behind one arbitrated bus; a write-only NoC
+// between the tiles; and per-tile lock units (internal/lock).
+//
+// The tile exposes exactly the micro-architectural event counters the
+// paper's platform measures (Section V-B: "It contains support to measure
+// micro-architectural events, like counting instructions and cache
+// misses"), broken down into the stall categories of Fig. 8: instruction
+// cache stalls, write stalls, shared-read stalls, private-read stalls, and
+// busy (utilization) cycles.
+package soc
+
+import (
+	"fmt"
+
+	"pmc/internal/cache"
+	"pmc/internal/lock"
+	"pmc/internal/mem"
+	"pmc/internal/noc"
+	"pmc/internal/sim"
+)
+
+// Memory map constants. SDRAM occupies low addresses; tile-local memories
+// are spaced at LocalStride starting at LocalBase.
+const (
+	SDRAMBase   = mem.Addr(0x0000_0000)
+	LocalBase   = mem.Addr(0x8000_0000)
+	LocalStride = mem.Addr(0x0010_0000)
+)
+
+// LockKind selects the lock implementation.
+type LockKind int
+
+const (
+	// LockDistributed is the asymmetric distributed lock of ref [15].
+	LockDistributed LockKind = iota
+	// LockCentralized is the TAS-over-SDRAM ablation baseline.
+	LockCentralized
+)
+
+func (lk LockKind) String() string {
+	if lk == LockCentralized {
+		return "centralized"
+	}
+	return "distributed"
+}
+
+// Config describes a system. The zero value is not useful; start from
+// DefaultConfig.
+type Config struct {
+	Tiles      int
+	ICache     cache.Config
+	DCache     cache.Config
+	LocalBytes int
+	SDRAMBytes int
+	SDRAM      mem.SDRAMConfig
+	NoC        noc.Config // Tiles field is overwritten from Config.Tiles
+	Locks      LockKind
+	// MaxCycles aborts runaway simulations (0 = no limit).
+	MaxCycles sim.Time
+	// CentralLockWords is the capacity of the centralized lock table.
+	CentralLockWords int
+}
+
+// DefaultConfig is the 32-tile system used throughout the evaluation.
+func DefaultConfig() Config {
+	return Config{
+		Tiles:            32,
+		ICache:           cache.Config{Size: 4096, Ways: 2, LineSize: 32},
+		DCache:           cache.Config{Size: 8192, Ways: 2, LineSize: 32},
+		LocalBytes:       64 * 1024,
+		SDRAMBytes:       32 << 20,
+		SDRAM:            mem.DefaultSDRAMConfig(),
+		NoC:              noc.DefaultConfig(),
+		Locks:            LockDistributed,
+		MaxCycles:        2_000_000_000,
+		CentralLockWords: 4096,
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.Tiles <= 0 {
+		return fmt.Errorf("soc: %d tiles", c.Tiles)
+	}
+	if err := c.ICache.Valid(); err != nil {
+		return err
+	}
+	if err := c.DCache.Valid(); err != nil {
+		return err
+	}
+	if c.SDRAM.LineSize != c.DCache.LineSize {
+		return fmt.Errorf("soc: SDRAM burst %d != D-cache line %d", c.SDRAM.LineSize, c.DCache.LineSize)
+	}
+	if int(LocalStride) < c.LocalBytes {
+		return fmt.Errorf("soc: local memory %d exceeds stride", c.LocalBytes)
+	}
+	return nil
+}
+
+// System is an assembled simulated SoC.
+type System struct {
+	K      *sim.Kernel
+	Cfg    Config
+	SDRAM  *mem.SDRAM
+	Locals []*mem.Local
+	Net    *noc.Network
+	Tiles  []*Tile
+
+	Locks lock.Locker
+	// DLock is non-nil when Locks is the distributed implementation;
+	// the runtime uses it to install transfer hooks.
+	DLock *lock.Distributed
+	// CLock is non-nil when Locks is the centralized implementation.
+	CLock *lock.Centralized
+
+	// centralLockBase is where the centralized lock table lives.
+	centralLockBase mem.Addr
+}
+
+// New builds a system from cfg.
+func New(cfg Config) (*System, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	k := sim.New()
+	k.MaxTime = cfg.MaxCycles
+	s := &System{K: k, Cfg: cfg}
+	s.SDRAM = mem.NewSDRAM(k, SDRAMBase, cfg.SDRAMBytes, cfg.SDRAM)
+	s.Locals = make([]*mem.Local, cfg.Tiles)
+	for i := range s.Locals {
+		s.Locals[i] = mem.NewLocal(i, LocalAddr(i, 0), cfg.LocalBytes)
+	}
+	nocCfg := cfg.NoC
+	nocCfg.Tiles = cfg.Tiles
+	s.Net = noc.New(k, nocCfg, s.Locals)
+	switch cfg.Locks {
+	case LockCentralized:
+		// The lock table sits at the top of SDRAM, away from data.
+		s.centralLockBase = SDRAMBase + mem.Addr(cfg.SDRAMBytes-cfg.CentralLockWords*4)
+		s.CLock = lock.NewCentralized(s.SDRAM, s.centralLockBase, cfg.CentralLockWords)
+		s.Locks = s.CLock
+	default:
+		s.DLock = lock.NewDistributed(k, s.Net)
+		s.Locks = s.DLock
+	}
+	s.Tiles = make([]*Tile, cfg.Tiles)
+	for i := range s.Tiles {
+		s.Tiles[i] = newTile(s, i)
+	}
+	return s, nil
+}
+
+// LocalAddr returns the global address of offset off inside tile t's local
+// memory.
+func LocalAddr(t int, off mem.Addr) mem.Addr {
+	return LocalBase + mem.Addr(t)*LocalStride + off
+}
+
+// LocalOffset inverts LocalAddr for any tile, returning the owning tile and
+// the offset.
+func LocalOffset(a mem.Addr) (tile int, off mem.Addr) {
+	if a < LocalBase {
+		panic(fmt.Sprintf("soc: %#x is not a local address", a))
+	}
+	rel := a - LocalBase
+	return int(rel / LocalStride), rel % LocalStride
+}
+
+// Run executes the simulation to completion.
+func (s *System) Run() error { return s.K.Run() }
+
+// TotalStats sums all tile stats.
+func (s *System) TotalStats() TileStats {
+	var t TileStats
+	for _, tl := range s.Tiles {
+		t.Add(tl.Stats)
+	}
+	return t
+}

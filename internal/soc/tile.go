@@ -1,0 +1,370 @@
+package soc
+
+import (
+	"pmc/internal/cache"
+	"pmc/internal/mem"
+	"pmc/internal/sim"
+)
+
+// TileStats are the per-core micro-architectural counters of the paper's
+// platform, split into the Fig. 8 stall categories. All values are cycles
+// unless noted.
+type TileStats struct {
+	Busy            sim.Time // executing instructions (utilization)
+	IStall          sim.Time // instruction cache miss stalls
+	PrivReadStall   sim.Time // data stalls reading private data
+	SharedReadStall sim.Time // data stalls reading shared data
+	WriteStall      sim.Time // data stalls on writes (private or shared)
+	FlushStall      sim.Time // bus time blocked behind cache-flush writebacks
+	LockWait        sim.Time // waiting for lock grants (local spin)
+	CopyStall       sim.Time // block copies between SDRAM and local/SPM
+
+	Instrs       uint64 // instructions executed (incl. flush instructions)
+	FlushInstrs  uint64 // cache-control instructions executed
+	SharedReads  uint64
+	SharedWrites uint64
+	PrivReads    uint64
+	PrivWrites   uint64
+}
+
+// Add accumulates o into t.
+func (t *TileStats) Add(o TileStats) {
+	t.Busy += o.Busy
+	t.IStall += o.IStall
+	t.PrivReadStall += o.PrivReadStall
+	t.SharedReadStall += o.SharedReadStall
+	t.WriteStall += o.WriteStall
+	t.FlushStall += o.FlushStall
+	t.LockWait += o.LockWait
+	t.CopyStall += o.CopyStall
+	t.Instrs += o.Instrs
+	t.FlushInstrs += o.FlushInstrs
+	t.SharedReads += o.SharedReads
+	t.SharedWrites += o.SharedWrites
+	t.PrivReads += o.PrivReads
+	t.PrivWrites += o.PrivWrites
+}
+
+// Total returns the accounted cycles (the denominator of Fig. 8 bars).
+func (t *TileStats) Total() sim.Time {
+	return t.Busy + t.IStall + t.PrivReadStall + t.SharedReadStall +
+		t.WriteStall + t.FlushStall + t.LockWait + t.CopyStall
+}
+
+// Tile is one processing element: core timing state, caches, local memory.
+type Tile struct {
+	ID    int
+	Sys   *System
+	IC    *cache.Cache
+	DC    *cache.Cache
+	Local *mem.Local
+
+	Stats TileStats
+
+	// I-fetch walker state: the core's PC advances through a per-phase
+	// code footprint in SDRAM, structured as a hot loop (hotSize bytes,
+	// walked innerPasses times) followed by one pass over a cold
+	// section (coldSize bytes) — the loop-nest shape of real kernels.
+	// coldSize 0 degenerates to a plain cyclic walk.
+	codeBase   mem.Addr
+	hotSize    int
+	coldSize   int
+	innerPass  int
+	pc         int // byte offset within the current region
+	inCold     bool
+	passesDone int
+}
+
+func newTile(s *System, id int) *Tile {
+	t := &Tile{
+		ID:    id,
+		Sys:   s,
+		IC:    cache.New(s.Cfg.ICache, s.SDRAM.RAM),
+		DC:    cache.New(s.Cfg.DCache, s.SDRAM.RAM),
+		Local: s.Locals[id],
+	}
+	// Until a workload declares its footprint, fetch from a tiny
+	// per-tile stub that always fits the I-cache.
+	t.SetCodeFootprint(mem.Addr(id)*64, 64)
+	return t
+}
+
+// SetCodeFootprint declares the code region (inside SDRAM) the core is
+// currently executing from. Instruction fetch walks it cyclically; a
+// footprint larger than the I-cache thrashes, smaller runs from cache
+// after warm-up — the source of Fig. 8's I-cache stall differences.
+func (t *Tile) SetCodeFootprint(base mem.Addr, size int) {
+	t.SetCodeLoop(base, size, 0, 1)
+}
+
+// SetCodeLoop declares a loop-nest-shaped code footprint: instruction
+// fetch makes innerPasses passes over the hot region of hotBytes, then one
+// pass over the cold section of coldBytes, and repeats. Real kernels spend
+// most fetches in hot loops that fit the I-cache and miss only on the
+// colder control code around them; the ratio of the regions and the pass
+// count set the steady-state I-miss rate.
+func (t *Tile) SetCodeLoop(base mem.Addr, hotBytes, coldBytes, innerPasses int) {
+	ls := t.Sys.Cfg.ICache.LineSize
+	round := func(b int) int {
+		if b < ls {
+			b = ls
+		}
+		return (b / ls) * ls
+	}
+	t.codeBase = base
+	t.hotSize = round(hotBytes)
+	if coldBytes > 0 {
+		t.coldSize = round(coldBytes)
+	} else {
+		t.coldSize = 0
+	}
+	if innerPasses < 1 {
+		innerPasses = 1
+	}
+	t.innerPass = innerPasses
+	t.pc = 0
+	t.inCold = false
+	t.passesDone = 0
+}
+
+// instrsPerLine is fixed by the 32-bit MicroBlaze ISA.
+func (t *Tile) instrsPerLine() int { return t.Sys.Cfg.ICache.LineSize / 4 }
+
+// fetchAndExec walks n instructions through the I-cache, charging fill
+// stalls, and advances simulated time for the execute cycles (1 per
+// instruction). It is the single bottleneck through which all "executed
+// instructions" pass.
+func (t *Tile) fetchAndExec(p *sim.Proc, n int) {
+	if n <= 0 {
+		return
+	}
+	t.Stats.Instrs += uint64(n)
+	lineBytes := t.instrsPerLine() * 4
+	remaining := n
+	for remaining > 0 {
+		regionSize := t.hotSize
+		regionOff := 0
+		if t.inCold {
+			regionSize = t.coldSize
+			regionOff = t.hotSize
+		}
+		lineOff := t.pc % lineBytes
+		inLine := (lineBytes - lineOff) / 4
+		if inLine > remaining {
+			inLine = remaining
+		}
+		lineAddr := t.codeBase + mem.Addr(regionOff+t.pc-lineOff)
+		if res, _ := t.IC.Probe(lineAddr); !res {
+			// Miss: fill from SDRAM.
+			t.Stats.IStall += t.Sys.SDRAM.AccessLine(p, lineAddr)
+			t.IC.Read32(lineAddr) // install the line (data immaterial)
+			t.Sys.SDRAM.LineFills++
+		}
+		p.Wait(sim.Time(inLine))
+		t.Stats.Busy += sim.Time(inLine)
+		t.pc += inLine * 4
+		if t.pc >= regionSize {
+			t.pc = 0
+			if t.inCold {
+				t.inCold = false
+				t.passesDone = 0
+			} else {
+				t.passesDone++
+				if t.passesDone >= t.innerPass && t.coldSize > 0 {
+					t.inCold = true
+				}
+			}
+		}
+		remaining -= inLine
+	}
+}
+
+// Exec models n instructions of pure computation.
+func (t *Tile) Exec(p *sim.Proc, n int) { t.fetchAndExec(p, n) }
+
+// chargeTraffic converts D-cache traffic into memory stall time and
+// returns the cycles stalled. addr is the accessed line (for bank routing);
+// the victim writeback is routed by its own address.
+func (t *Tile) chargeTraffic(p *sim.Proc, addr mem.Addr, tr cache.Traffic) sim.Time {
+	var stall sim.Time
+	if tr.Writeback {
+		stall += t.Sys.SDRAM.AccessLine(p, tr.WritebackAddr)
+		t.Sys.SDRAM.LineWBs++
+	}
+	if tr.Fill {
+		stall += t.Sys.SDRAM.AccessLine(p, addr)
+		t.Sys.SDRAM.LineFills++
+	}
+	return stall
+}
+
+// ReadPrivate32 loads a word of private (always cacheable) data.
+func (t *Tile) ReadPrivate32(p *sim.Proc, addr mem.Addr) uint32 {
+	t.fetchAndExec(p, 1)
+	t.Stats.PrivReads++
+	v, tr := t.DC.Read32(addr)
+	t.Stats.PrivReadStall += t.chargeTraffic(p, addr, tr)
+	return v
+}
+
+// WritePrivate32 stores a word of private data (write-back cached).
+func (t *Tile) WritePrivate32(p *sim.Proc, addr mem.Addr, v uint32) {
+	t.fetchAndExec(p, 1)
+	t.Stats.PrivWrites++
+	tr := t.DC.Write32(addr, v)
+	t.Stats.WriteStall += t.chargeTraffic(p, addr, tr)
+}
+
+// ReadShared32Cached loads shared data through the D-cache (SWCC mode).
+func (t *Tile) ReadShared32Cached(p *sim.Proc, addr mem.Addr) uint32 {
+	t.fetchAndExec(p, 1)
+	t.Stats.SharedReads++
+	v, tr := t.DC.Read32(addr)
+	t.Stats.SharedReadStall += t.chargeTraffic(p, addr, tr)
+	return v
+}
+
+// WriteShared32Cached stores shared data through the D-cache (SWCC mode).
+func (t *Tile) WriteShared32Cached(p *sim.Proc, addr mem.Addr, v uint32) {
+	t.fetchAndExec(p, 1)
+	t.Stats.SharedWrites++
+	tr := t.DC.Write32(addr, v)
+	t.Stats.WriteStall += t.chargeTraffic(p, addr, tr)
+}
+
+// ReadShared32Uncached loads shared data directly over the bus (noCC mode):
+// the core stalls for arbitration plus the word access.
+func (t *Tile) ReadShared32Uncached(p *sim.Proc, addr mem.Addr) uint32 {
+	t.fetchAndExec(p, 1)
+	t.Stats.SharedReads++
+	v, stall := t.Sys.SDRAM.ReadWord(p, addr)
+	t.Stats.SharedReadStall += stall
+	return v
+}
+
+// WriteShared32Uncached stores shared data directly over the bus. Like the
+// MicroBlaze's posted store buffer, the core does not wait for the bus: it
+// reserves a slot and continues; a later access queues behind it.
+func (t *Tile) WriteShared32Uncached(p *sim.Proc, addr mem.Addr, v uint32) {
+	t.fetchAndExec(p, 1)
+	t.Stats.SharedWrites++
+	s := t.Sys.SDRAM
+	end := s.ReserveWordAt(p.Now(), addr)
+	s.WordWrites++
+	// The data lands when the memory slot completes.
+	t.Sys.K.ScheduleAt(end, func() { s.Write32(addr, v) })
+	// One cycle to enter the store buffer.
+	p.Wait(1)
+	t.Stats.WriteStall++
+}
+
+// ReadLocal32 loads from this tile's local memory: single-cycle, already
+// covered by the instruction's execute cycle (LMB-style).
+func (t *Tile) ReadLocal32(p *sim.Proc, addr mem.Addr) uint32 {
+	t.fetchAndExec(p, 1)
+	t.Local.CoreReads++
+	return t.Local.Read32(addr)
+}
+
+// WriteLocal32 stores to this tile's local memory in a single cycle.
+func (t *Tile) WriteLocal32(p *sim.Proc, addr mem.Addr, v uint32) {
+	t.fetchAndExec(p, 1)
+	t.Local.CoreWrites++
+	t.Local.Write32(addr, v)
+}
+
+// FlushShared flush-invalidates the D-cache lines covering [addr,
+// addr+size): one cache-control instruction per line plus bus time for each
+// dirty writeback. This is the cost the paper reports as "time spent on
+// executing flush instructions".
+func (t *Tile) FlushShared(p *sim.Proc, addr mem.Addr, size int) {
+	if size <= 0 {
+		return
+	}
+	ls := t.Sys.Cfg.DCache.LineSize
+	first := t.DC.LineBase(addr)
+	last := t.DC.LineBase(addr + mem.Addr(size-1))
+	for a := first; ; a += mem.Addr(ls) {
+		t.fetchAndExec(p, 1)
+		t.Stats.FlushInstrs++
+		tr := t.DC.FlushLine(a)
+		if tr.Writeback {
+			t.Stats.FlushStall += t.Sys.SDRAM.AccessLine(p, a)
+			t.Sys.SDRAM.LineWBs++
+		}
+		if a == last {
+			break
+		}
+	}
+}
+
+// InvalidateShared drops the (clean) cache lines covering the range without
+// writing back; used on entry to a read-only scope.
+func (t *Tile) InvalidateShared(p *sim.Proc, addr mem.Addr, size int) {
+	if size <= 0 {
+		return
+	}
+	ls := t.Sys.Cfg.DCache.LineSize
+	first := t.DC.LineBase(addr)
+	last := t.DC.LineBase(addr + mem.Addr(size-1))
+	for a := first; ; a += mem.Addr(ls) {
+		t.fetchAndExec(p, 1)
+		t.Stats.FlushInstrs++
+		t.DC.InvalidateLine(a)
+		if a == last {
+			break
+		}
+	}
+}
+
+// CopyToLocal copies size bytes from SDRAM into this tile's local memory
+// (SPM staging / DSM replica initialization): line-burst reads over the
+// bus, single-cycle local writes overlapped with the bus transfers.
+func (t *Tile) CopyToLocal(p *sim.Proc, src mem.Addr, dst mem.Addr, size int) {
+	t0 := p.Now()
+	ls := t.Sys.Cfg.SDRAM.LineSize
+	buf := make([]byte, ls)
+	for off := 0; off < size; off += ls {
+		n := size - off
+		if n > ls {
+			n = ls
+		}
+		t.Sys.SDRAM.AccessLine(p, src+mem.Addr(off))
+		t.Sys.SDRAM.LineFills++
+		t.Sys.SDRAM.ReadBlock(src+mem.Addr(off), buf[:n])
+		t.Local.WriteBlock(dst+mem.Addr(off), buf[:n])
+	}
+	t.Stats.CopyStall += p.Now() - t0
+}
+
+// CopyFromLocal copies size bytes from this tile's local memory back to
+// SDRAM in line bursts.
+func (t *Tile) CopyFromLocal(p *sim.Proc, src mem.Addr, dst mem.Addr, size int) {
+	t0 := p.Now()
+	ls := t.Sys.Cfg.SDRAM.LineSize
+	buf := make([]byte, ls)
+	for off := 0; off < size; off += ls {
+		n := size - off
+		if n > ls {
+			n = ls
+		}
+		t.Local.ReadBlock(src+mem.Addr(off), buf[:n])
+		t.Sys.SDRAM.AccessLine(p, dst+mem.Addr(off))
+		t.Sys.SDRAM.LineWBs++
+		t.Sys.SDRAM.WriteBlock(dst+mem.Addr(off), buf[:n])
+	}
+	t.Stats.CopyStall += p.Now() - t0
+}
+
+// AcquireLock acquires lockID through the system's lock implementation and
+// attributes the wait.
+func (t *Tile) AcquireLock(p *sim.Proc, lockID int) (prevHolder int) {
+	wait, prev := t.Sys.Locks.Acquire(p, t.ID, lockID)
+	t.Stats.LockWait += wait
+	return prev
+}
+
+// ReleaseLock releases lockID (posted).
+func (t *Tile) ReleaseLock(p *sim.Proc, lockID int) {
+	t.Sys.Locks.Release(p, t.ID, lockID)
+}

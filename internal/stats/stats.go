@@ -1,0 +1,133 @@
+// Package stats renders measured results in the paper's formats — most
+// importantly the stacked execution-time breakdown of Fig. 8.
+//
+// Category mapping from the simulator's counters to the paper's five bars:
+//
+//	core utilization  = Busy + LockWait (a spinning core executes poll
+//	                    instructions; the platform's counters see it as
+//	                    not-stalled)
+//	I-cache stall     = IStall
+//	private read      = PrivReadStall
+//	shared read       = SharedReadStall
+//	write stall       = WriteStall + FlushStall (flush-triggered
+//	                    writebacks occupy the bus like writes)
+//	copy              = CopyStall (SPM/DSM staging; zero in Fig. 8 modes)
+//
+// The extended table also reports the raw lock/flush/copy components so
+// nothing is hidden by the mapping.
+package stats
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"pmc/internal/sim"
+	"pmc/internal/workloads"
+)
+
+// Fig8Categories are the stacked categories in paper order (bottom to top).
+var Fig8Categories = []string{
+	"core utilization", "private read stall", "shared read stall",
+	"write stall", "I-cache stall", "copy stall",
+}
+
+// Breakdown is one run normalized into Fig. 8 categories.
+type Breakdown struct {
+	Label  string
+	Cycles sim.Time
+	// Fractions of the run's accounted cycles per Fig8Category.
+	Frac [6]float64
+	// Norm is the run's total relative to a reference run (the "no CC"
+	// bar is 100 %).
+	Norm float64
+	// FlushInstrPct is the paper's flush-overhead metric.
+	FlushInstrPct float64
+}
+
+// NewBreakdown classifies a result. norm scales the bar height (pass the
+// reference run's cycles; use the run's own cycles for a 100 % bar).
+func NewBreakdown(r *workloads.Result, refCycles sim.Time) Breakdown {
+	t := r.Total
+	tot := float64(t.Total())
+	if tot == 0 {
+		tot = 1
+	}
+	b := Breakdown{
+		Label:         fmt.Sprintf("%s (%s)", r.App, r.Backend),
+		Cycles:        r.Cycles,
+		Norm:          float64(r.Cycles) / float64(refCycles),
+		FlushInstrPct: r.FlushOverheadPct(),
+	}
+	b.Frac[0] = float64(t.Busy+t.LockWait) / tot
+	b.Frac[1] = float64(t.PrivReadStall) / tot
+	b.Frac[2] = float64(t.SharedReadStall) / tot
+	b.Frac[3] = float64(t.WriteStall+t.FlushStall) / tot
+	b.Frac[4] = float64(t.IStall) / tot
+	b.Frac[5] = float64(t.CopyStall) / tot
+	return b
+}
+
+// barGlyphs label each category in the ASCII bar.
+var barGlyphs = []byte{'U', 'p', 's', 'w', 'i', 'c'}
+
+// RenderFig8 prints the stacked, normalized bars for a set of runs grouped
+// by application: the textual equivalent of the paper's Fig. 8. The first
+// run of each app is the normalization reference (its bar is 100 %).
+func RenderFig8(w io.Writer, groups map[string][]*workloads.Result, order []string) {
+	fmt.Fprintf(w, "%-22s %10s %7s  %s\n", "run", "cycles", "norm", "breakdown (each char = 2% of the normalized bar)")
+	for _, app := range order {
+		runs := groups[app]
+		if len(runs) == 0 {
+			continue
+		}
+		ref := runs[0].Cycles
+		for _, r := range runs {
+			b := NewBreakdown(r, ref)
+			fmt.Fprintf(w, "%-22s %10d %6.1f%%  %s\n", b.Label, b.Cycles, 100*b.Norm, bar(b))
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintf(w, "legend: U=core utilization  p=private read  s=shared read  w=write  i=I-cache  c=copy\n")
+}
+
+func bar(b Breakdown) string {
+	var sb strings.Builder
+	for i, f := range b.Frac {
+		n := int(f*b.Norm*50 + 0.5) // 50 chars = 100 % of the reference bar
+		for j := 0; j < n; j++ {
+			sb.WriteByte(barGlyphs[i])
+		}
+	}
+	return sb.String()
+}
+
+// RenderExtended prints the full per-category table, including the
+// components the Fig. 8 mapping folds together.
+func RenderExtended(w io.Writer, results []*workloads.Result) {
+	fmt.Fprintf(w, "%-22s %10s %6s %6s %6s %6s %6s %6s %6s %6s %7s\n",
+		"run", "cycles", "busy%", "istl%", "priv%", "shrd%", "wr%", "lock%", "flsh%", "copy%", "flIns%")
+	for _, r := range results {
+		t := r.Total
+		tot := float64(t.Total())
+		if tot == 0 {
+			tot = 1
+		}
+		pct := func(x sim.Time) float64 { return 100 * float64(x) / tot }
+		fmt.Fprintf(w, "%-22s %10d %6.1f %6.1f %6.1f %6.1f %6.1f %6.1f %6.1f %6.1f %7.2f\n",
+			fmt.Sprintf("%s (%s)", r.App, r.Backend), r.Cycles,
+			pct(t.Busy), pct(t.IStall), pct(t.PrivReadStall), pct(t.SharedReadStall),
+			pct(t.WriteStall), pct(t.LockWait), pct(t.FlushStall), pct(t.CopyStall),
+			r.FlushOverheadPct())
+	}
+}
+
+// Speedup returns the relative execution-time improvement of b over a in
+// percent (positive = b is faster), the number the paper summarizes as
+// "the execution time improved by 22% on average".
+func Speedup(a, b *workloads.Result) float64 {
+	if a.Cycles == 0 {
+		return 0
+	}
+	return 100 * (1 - float64(b.Cycles)/float64(a.Cycles))
+}

@@ -1,0 +1,101 @@
+package stats
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"pmc/internal/sim"
+	"pmc/internal/soc"
+	"pmc/internal/workloads"
+)
+
+func fakeResult(app, backend string, cycles sim.Time) *workloads.Result {
+	return &workloads.Result{
+		App:     app,
+		Backend: backend,
+		Tiles:   4,
+		Cycles:  cycles,
+		Total: soc.TileStats{
+			Busy:            cycles * 2,
+			IStall:          cycles,
+			SharedReadStall: cycles,
+			FlushInstrs:     10,
+		},
+	}
+}
+
+func TestBreakdownFractionsSumToOne(t *testing.T) {
+	r := fakeResult("app", "nocc", 1000)
+	b := NewBreakdown(r, r.Cycles)
+	var sum float64
+	for _, f := range b.Frac {
+		sum += f
+	}
+	if sum < 0.999 || sum > 1.001 {
+		t.Fatalf("fractions sum to %f, want 1", sum)
+	}
+	if b.Norm != 1 {
+		t.Fatalf("self-normalized bar = %f, want 1", b.Norm)
+	}
+}
+
+func TestBreakdownNormalization(t *testing.T) {
+	ref := fakeResult("app", "nocc", 1000)
+	faster := fakeResult("app", "swcc", 750)
+	b := NewBreakdown(faster, ref.Cycles)
+	if b.Norm != 0.75 {
+		t.Fatalf("norm = %f, want 0.75", b.Norm)
+	}
+}
+
+func TestRenderFig8(t *testing.T) {
+	groups := map[string][]*workloads.Result{
+		"app": {fakeResult("app", "nocc", 1000), fakeResult("app", "swcc", 800)},
+	}
+	var buf bytes.Buffer
+	RenderFig8(&buf, groups, []string{"app"})
+	out := buf.String()
+	for _, want := range []string{"app (nocc)", "app (swcc)", "100.0%", "80.0%", "legend"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Fig8 output missing %q:\n%s", want, out)
+		}
+	}
+	// The reference bar should be ~50 chars of glyphs; the faster bar
+	// proportionally shorter.
+	lines := strings.Split(out, "\n")
+	var refBar, fastBar int
+	for _, l := range lines {
+		if strings.Contains(l, "(nocc)") {
+			refBar = strings.Count(l, "U") + strings.Count(l, "i") + strings.Count(l, "s")
+		}
+		if strings.Contains(l, "(swcc)") {
+			fastBar = strings.Count(l, "U") + strings.Count(l, "i") + strings.Count(l, "s")
+		}
+	}
+	if refBar < 45 || refBar > 55 {
+		t.Errorf("reference bar length %d, want ~50", refBar)
+	}
+	if fastBar >= refBar {
+		t.Errorf("faster run's bar (%d) not shorter than reference (%d)", fastBar, refBar)
+	}
+}
+
+func TestRenderExtended(t *testing.T) {
+	var buf bytes.Buffer
+	RenderExtended(&buf, []*workloads.Result{fakeResult("x", "dsm", 500)})
+	if !strings.Contains(buf.String(), "x (dsm)") {
+		t.Fatalf("extended table missing run label:\n%s", buf.String())
+	}
+}
+
+func TestSpeedup(t *testing.T) {
+	a := fakeResult("a", "nocc", 1000)
+	b := fakeResult("a", "swcc", 780)
+	if got := Speedup(a, b); got < 21.9 || got > 22.1 {
+		t.Fatalf("speedup = %f, want 22", got)
+	}
+	if got := Speedup(a, a); got != 0 {
+		t.Fatalf("self speedup = %f, want 0", got)
+	}
+}

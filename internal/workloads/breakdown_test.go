@@ -1,0 +1,41 @@
+package workloads
+
+import (
+	"testing"
+
+	"pmc/internal/sim"
+)
+
+// TestLogBreakdowns logs the Fig. 8-style stall breakdown for each app on
+// nocc and swcc at test scale. Run with -v to inspect; it asserts only that
+// the accounting is self-consistent (categories sum to within the makespan
+// times tiles).
+func TestLogBreakdowns(t *testing.T) {
+	for _, app := range smallApps()[1:4] {
+		app := app
+		t.Run(app.Name(), func(t *testing.T) {
+			for _, backend := range []string{"nocc", "swcc"} {
+				res, err := Run(freshLike(app), smallCfg(8), backend)
+				if err != nil {
+					t.Fatal(err)
+				}
+				tot := res.Total.Total()
+				pct := func(x sim.Time) float64 {
+					if tot == 0 {
+						return 0
+					}
+					return 100 * float64(x) / float64(tot)
+				}
+				t.Logf("%-9s %-5s cycles=%-9d busy=%5.1f%% istall=%5.1f%% privrd=%5.1f%% shrd=%5.1f%% wr=%5.1f%% flush=%5.1f%% lock=%5.1f%% copy=%5.1f%%",
+					app.Name(), backend, res.Cycles,
+					pct(res.Total.Busy), pct(res.Total.IStall), pct(res.Total.PrivReadStall),
+					pct(res.Total.SharedReadStall), pct(res.Total.WriteStall),
+					pct(res.Total.FlushStall+sim.Time(res.Total.FlushInstrs)), pct(res.Total.LockWait),
+					pct(res.Total.CopyStall))
+				if tot > res.Cycles*sim.Time(res.Tiles) {
+					t.Errorf("accounted cycles %d exceed wall cycles × tiles %d", tot, res.Cycles*sim.Time(res.Tiles))
+				}
+			}
+		})
+	}
+}

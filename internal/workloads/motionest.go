@@ -1,0 +1,155 @@
+package workloads
+
+import (
+	"fmt"
+
+	"pmc/internal/rt"
+)
+
+// MotionEst is the motion-estimation case study of Section VI-C / Fig. 10:
+// full-search block matching of a video frame against a reference frame.
+// The reference frame is organized in horizontal strips shared by all the
+// blocks whose search windows fall inside them; blocks and result vectors
+// are per-task objects. A worker opens the strip read-only, the block
+// read-only and the vector exclusively — the ScopeRO/ScopeX structure of
+// Fig. 10 — and then reads the same window data hundreds of times (once per
+// candidate offset), which is exactly the reuse scratch-pad memories
+// exploit:
+//
+//   - SPM copies the strip in once, releases the lock immediately, and
+//     searches at single-cycle latency with all readers concurrent;
+//   - SWCC holds the strip's lock for the entire scope (Table II) and
+//     re-fills the cache every scope, so workers sharing a strip serialize;
+//   - noCC pays an SDRAM bus transaction for every single sample.
+type MotionEst struct {
+	// BlocksX, BlocksY is the frame size in 8-pixel blocks.
+	BlocksX, BlocksY int
+	// Search is the search range in pixels (candidates = (2*Search+1)²).
+	Search int
+	// ComputePerCand models the SAD arithmetic per candidate beyond the
+	// sample loads.
+	ComputePerCand int
+
+	queue   *taskCounter
+	strips  []*rt.Object // reference frame, one strip per block row
+	blocks  []*rt.Object // current frame blocks
+	vectors []*rt.Object // result motion vectors
+
+	stripWords int
+}
+
+// DefaultMotionEst returns the evaluation configuration.
+func DefaultMotionEst() *MotionEst {
+	return &MotionEst{BlocksX: 8, BlocksY: 4, Search: 3, ComputePerCand: 12}
+}
+
+const blockPixels = 8 // block edge in pixels
+
+// Name implements App.
+func (a *MotionEst) Name() string { return "motionest" }
+
+func (a *MotionEst) tasks() int { return a.BlocksX * a.BlocksY }
+
+// Setup implements App.
+func (a *MotionEst) Setup(r *rt.Runtime, tiles int) {
+	a.queue = newTaskCounter(r, "me-queue", a.tasks())
+	// A strip covers the vertical search extent of one block row over
+	// the full frame width, stored 4 pixels per word.
+	widthPx := a.BlocksX * blockPixels
+	stripRows := blockPixels + 2*a.Search
+	a.stripWords = widthPx * stripRows / 4
+	rnd := newRand(0xfeed)
+	a.strips = make([]*rt.Object, a.BlocksY)
+	for i := range a.strips {
+		a.strips[i] = r.Alloc(fmt.Sprintf("strip%d", i), a.stripWords*4)
+		words := make([]uint32, a.stripWords)
+		for w := range words {
+			words[w] = rnd.next() & 0x7f7f7f7f
+		}
+		r.InitObject(a.strips[i], words)
+	}
+	a.blocks = make([]*rt.Object, a.tasks())
+	a.vectors = make([]*rt.Object, a.tasks())
+	blockWords := blockPixels * blockPixels / 4
+	for i := range a.blocks {
+		a.blocks[i] = r.Alloc(fmt.Sprintf("mblock%d", i), blockWords*4)
+		words := make([]uint32, blockWords)
+		for w := range words {
+			words[w] = rnd.next() & 0x7f7f7f7f
+		}
+		r.InitObject(a.blocks[i], words)
+		a.vectors[i] = r.Alloc(fmt.Sprintf("vector%d", i), 8)
+	}
+}
+
+// Worker implements App.
+func (a *MotionEst) Worker(c *rt.Ctx, tile, tiles int) {
+	c.SetCodeFootprint(3 * 1024)
+	widthWords := a.BlocksX * blockPixels / 4
+	blockWords := blockPixels * blockPixels / 4
+	for {
+		task, ok := a.queue.next(c)
+		if !ok {
+			return
+		}
+		bx := int(task) % a.BlocksX
+		by := int(task) / a.BlocksX
+		strip := a.strips[by]
+		block := a.blocks[task]
+		vector := a.vectors[task]
+
+		// ScopeRO(window), ScopeRO(mblock), ScopeX(vector) of Fig. 10.
+		c.EntryRO(strip)
+		c.EntryRO(block)
+		c.EntryX(vector)
+
+		best := uint32(0xffffffff)
+		bestDX, bestDY := 0, 0
+		side := 2*a.Search + 1
+		for cand := 0; cand < side*side; cand++ {
+			dx, dy := cand%side-a.Search, cand/side-a.Search
+			var sad uint32
+			for w := 0; w < blockWords; w++ {
+				row := w / (blockPixels / 4)
+				col := w % (blockPixels / 4)
+				// Sample the reference at the candidate offset.
+				refRow := row + a.Search + dy
+				refCol := bx*(blockPixels/4) + col
+				refOff := refRow*widthWords + refCol
+				// Horizontal sub-word offsets read the next word too.
+				ref := c.Read32(strip, 4*(refOff%a.stripWords))
+				if dx != 0 {
+					ref ^= c.Read32(strip, 4*((refOff+1)%a.stripWords)) >> uint(abs(dx))
+				}
+				cur := c.Read32(block, 4*w)
+				sad += (ref ^ cur) & 0x00ff00ff
+			}
+			c.Compute(a.ComputePerCand)
+			if sad < best {
+				best, bestDX, bestDY = sad, dx, dy
+			}
+		}
+		c.Write32(vector, 0, uint32(int32(bestDX)))
+		c.Write32(vector, 4, uint32(int32(bestDY)))
+		c.ExitX(vector)
+		c.ExitRO(block)
+		c.ExitRO(strip)
+	}
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// Checksum implements App: folds all motion vectors; identical across
+// backends because the search is deterministic per task.
+func (a *MotionEst) Checksum(r *rt.Runtime) uint32 {
+	var sum uint32
+	for _, v := range a.vectors {
+		sum = sum*31 + r.ReadObjectWord(v, 0)*7 + r.ReadObjectWord(v, 1)
+	}
+	return sum
+}

@@ -1,0 +1,131 @@
+package workloads
+
+import (
+	"fmt"
+
+	"pmc/internal/rt"
+)
+
+// Radiosity is the structural substitute for SPLASH-2 RADIOSITY: iterative
+// energy transfer over a shared patch graph. Work items are taken from a
+// central queue; each item shoots a patch's undistributed energy to a
+// pseudo-random set of neighbour patches, read-modify-writing their
+// accumulators under entry_x/exit_x. The shared access pattern is chaotic
+// and write-heavy — the paper's explanation for why RADIOSITY benefits
+// least from software cache coherency ("the application ... addresses and
+// updates the memory in a chaotic way").
+type Radiosity struct {
+	// Patches is the number of scene patches.
+	Patches int
+	// Rounds is how many distribution rounds run over all patches.
+	Rounds int
+	// Fanout is the number of neighbour patches each task touches.
+	Fanout int
+	// PatchWords is the size of one patch record in words.
+	PatchWords int
+	// ComputePerTask is the modelled private computation per task.
+	ComputePerTask int
+
+	queue   *taskCounter
+	patches []*rt.Object
+	seed    uint32
+}
+
+// DefaultRadiosity returns the evaluation configuration.
+func DefaultRadiosity() *Radiosity {
+	return &Radiosity{
+		Patches:        192,
+		Rounds:         3,
+		Fanout:         6,
+		PatchWords:     16,
+		ComputePerTask: 800,
+	}
+}
+
+// Name implements App.
+func (a *Radiosity) Name() string { return "radiosity" }
+
+// Setup implements App.
+func (a *Radiosity) Setup(r *rt.Runtime, tiles int) {
+	a.seed = 0x9e3779b9
+	a.queue = newTaskCounter(r, "rad-queue", a.Patches*a.Rounds)
+	a.patches = make([]*rt.Object, a.Patches)
+	rnd := newRand(7)
+	for i := range a.patches {
+		a.patches[i] = r.Alloc(fmt.Sprintf("patch%d", i), a.PatchWords*4)
+		init := make([]uint32, a.PatchWords)
+		init[0] = 1000 + rnd.next()%1000 // initial energy
+		r.InitObject(a.patches[i], init)
+	}
+}
+
+// Worker implements App.
+func (a *Radiosity) Worker(c *rt.Ctx, tile, tiles int) {
+	// Hot 2 KiB kernel loop with a 4 KiB colder tail visited every ~20
+	// passes: the visibility/form-factor code around the inner loop.
+	c.SetCodeProfile(2048, 4096, 48)
+	scratch := c.PrivAlloc(64)
+	// Per-tile interaction table: a private working set large enough to
+	// contend with shared lines in the D-cache (the private-read band of
+	// Fig. 8).
+	table := c.PrivAlloc(768)
+	for {
+		task, ok := a.queue.next(c)
+		if !ok {
+			return
+		}
+		patch := int(task) % a.Patches
+		// Read the source patch's energy and geometry.
+		src := a.patches[patch]
+		c.EntryRO(src)
+		energy := c.Read32(src, 0)
+		// Two passes over the patch record (geometry is consulted per
+		// neighbour candidate): per-scope reuse the cache can keep.
+		for pass := 0; pass < 2; pass++ {
+			for w := 1; w < a.PatchWords-1; w++ {
+				c.PWrite(scratch, w%8, c.Read32(src, 4*w))
+			}
+			c.Compute(40)
+		}
+		c.ExitRO(src)
+		// Form-factor computation on private data: walk the
+		// interaction table with a task-dependent stride.
+		c.Compute(a.ComputePerTask)
+		stride := int(task%7)*37 + 11
+		idx := int(task) % 768
+		for w := 0; w < 12; w++ {
+			v := c.PRead(table, idx)
+			c.PWrite(table, idx, v+uint32(w))
+			idx = (idx + stride) % 768
+		}
+		for w := 0; w < 16; w++ {
+			c.PWrite(scratch, 16+w, c.PRead(scratch, w%5)+uint32(w))
+		}
+		// Distribute to pseudo-random neighbours: the chaotic
+		// read-modify-write phase. The neighbour choice depends only
+		// on the task index, so the final sums are deterministic
+		// regardless of which tile ran the task.
+		share := energy / uint32(a.Fanout+1)
+		rnd := newRand(a.seed ^ uint32(task)*2654435761)
+		for k := 0; k < a.Fanout; k++ {
+			n := a.patches[rnd.intn(a.Patches)]
+			c.Fence()
+			c.EntryX(n)
+			c.Write32(n, 4, c.Read32(n, 4)+share)      // received energy
+			c.Write32(n, 8, c.Read32(n, 8)+1)          // visit count
+			c.Write32(n, 12, c.Read32(n, 12)^share<<1) // scatter pattern
+			c.Write32(n, 20, c.Read32(n, 20)+share>>1) // gradient term
+			c.ExitX(n)
+			c.Compute(200)
+		}
+	}
+}
+
+// Checksum implements App: folds every patch's accumulators.
+func (a *Radiosity) Checksum(r *rt.Runtime) uint32 {
+	var sum uint32
+	for _, p := range a.patches {
+		sum += r.ReadObjectWord(p, 1)*31 + r.ReadObjectWord(p, 2)*7 + r.ReadObjectWord(p, 3)
+	}
+	return sum
+}

@@ -1,0 +1,120 @@
+package workloads
+
+import (
+	"fmt"
+
+	"pmc/internal/rt"
+)
+
+// Raytrace is the structural substitute for SPLASH-2 RAYTRACE: a read-only
+// shared scene (a grid of cells holding triangle data) traversed by rays
+// taken from a central work queue. Within one read-only scope a worker
+// intersects a ray bundle against every triangle of the cell — the
+// spatial/temporal reuse that lets the cache turn per-word uncached reads
+// into a handful of line fills, which is why RAYTRACE shows almost no
+// shared-read stall under SWCC in Fig. 8.
+type Raytrace struct {
+	// Cells is the number of scene cells.
+	Cells int
+	// CellWords is the triangle payload per cell in words.
+	CellWords int
+	// Rays is the total number of ray bundles (tasks).
+	Rays int
+	// StepsPerRay is how many cells one bundle traverses.
+	StepsPerRay int
+	// TrisPerCell is the triangle count intersected per visited cell.
+	TrisPerCell int
+	// ComputePerHit is the modelled intersection arithmetic per triangle.
+	ComputePerHit int
+
+	queue  *taskCounter
+	cells  []*rt.Object
+	result *rt.Object
+}
+
+// DefaultRaytrace returns the evaluation configuration.
+func DefaultRaytrace() *Raytrace {
+	return &Raytrace{
+		Cells:         160,
+		CellWords:     32,
+		Rays:          512,
+		StepsPerRay:   6,
+		TrisPerCell:   10,
+		ComputePerHit: 80,
+	}
+}
+
+// Name implements App.
+func (a *Raytrace) Name() string { return "raytrace" }
+
+// Setup implements App.
+func (a *Raytrace) Setup(r *rt.Runtime, tiles int) {
+	a.queue = newTaskCounter(r, "ray-queue", a.Rays)
+	a.result = r.Alloc("framebuffer-sum", 4*tiles)
+	a.cells = make([]*rt.Object, a.Cells)
+	rnd := newRand(99)
+	for i := range a.cells {
+		a.cells[i] = r.Alloc(fmt.Sprintf("cell%d", i), a.CellWords*4)
+		words := make([]uint32, a.CellWords)
+		for w := range words {
+			words[w] = rnd.next()
+		}
+		r.InitObject(a.cells[i], words)
+	}
+}
+
+// Worker implements App.
+func (a *Raytrace) Worker(c *rt.Ctx, tile, tiles int) {
+	// Tight intersection loop with a moderate cold section (traversal
+	// setup, shading) visited occasionally.
+	c.SetCodeProfile(2048, 3072, 64)
+	priv := c.PrivAlloc(32)
+	// Private shading tables walked per ray (Fig. 8's private-read band).
+	shade := c.PrivAlloc(1536)
+	var tileSum uint32 // sum of per-task hashes: order-independent
+	for {
+		task, ok := a.queue.next(c)
+		if !ok {
+			break
+		}
+		rnd := newRand(uint32(task)*747796405 + 2891336453)
+		var acc uint32
+		for step := 0; step < a.StepsPerRay; step++ {
+			cell := a.cells[rnd.intn(a.Cells)]
+			c.EntryRO(cell)
+			// Intersect against every triangle: several reads of
+			// the same lines — the reuse SWCC converts to hits.
+			for tri := 0; tri < a.TrisPerCell; tri++ {
+				base := (tri * 5) % (a.CellWords - 4)
+				v0 := c.Read32(cell, 4*base)
+				v1 := c.Read32(cell, 4*(base+1))
+				v2 := c.Read32(cell, 4*(base+2))
+				c.Compute(a.ComputePerHit)
+				acc = acc*31 + (v0 ^ v1 ^ v2)
+				c.PWrite(priv, tri%32, acc)
+			}
+			c.ExitRO(cell)
+		}
+		tileSum += acc
+		// Private shading work between cells: texture/material lookups.
+		idx := int(task) % 1536
+		for w := 0; w < 12; w++ {
+			acc += c.PRead(shade, idx)
+			idx = (idx + 97) % 1536
+		}
+		c.Compute(64)
+	}
+	// Publish the per-tile partial checksum once at the end.
+	c.EntryX(a.result)
+	c.Write32(a.result, 4*tile, tileSum)
+	c.ExitX(a.result)
+}
+
+// Checksum implements App: order-independent fold of the per-tile partials.
+func (a *Raytrace) Checksum(r *rt.Runtime) uint32 {
+	var sum uint32
+	for w := 0; w < a.result.WordCount(); w++ {
+		sum += r.ReadObjectWord(a.result, w)
+	}
+	return sum
+}

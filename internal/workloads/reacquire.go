@@ -1,0 +1,69 @@
+package workloads
+
+import (
+	"fmt"
+
+	"pmc/internal/rt"
+)
+
+// Reacquire is the ablation workload for lazy vs eager release (Section
+// V-A's "an implementation could do a 'lazy release'"): every tile
+// repeatedly re-enters its own object — where lazy release keeps the data
+// cached across scopes and eager release flushes and refills every time —
+// with an occasional cross-tile access that forces a real ownership
+// transfer, proving the lazy variant still moves data when it must.
+type Reacquire struct {
+	// Iters is the number of scopes per tile.
+	Iters int
+	// Words is the number of words touched per scope.
+	Words int
+	// CrossEvery makes every n-th scope target the next tile's object.
+	CrossEvery int
+
+	objs []*rt.Object
+}
+
+// DefaultReacquire returns the ablation configuration.
+func DefaultReacquire() *Reacquire {
+	return &Reacquire{Iters: 64, Words: 16, CrossEvery: 16}
+}
+
+// Name implements App.
+func (a *Reacquire) Name() string { return "reacquire" }
+
+// Setup implements App.
+func (a *Reacquire) Setup(r *rt.Runtime, tiles int) {
+	a.objs = make([]*rt.Object, tiles)
+	for i := range a.objs {
+		a.objs[i] = r.Alloc(fmt.Sprintf("own%d", i), a.Words*4)
+	}
+}
+
+// Worker implements App.
+func (a *Reacquire) Worker(c *rt.Ctx, tile, tiles int) {
+	c.SetCodeFootprint(1024)
+	for i := 0; i < a.Iters; i++ {
+		o := a.objs[tile]
+		if a.CrossEvery > 0 && i%a.CrossEvery == a.CrossEvery-1 {
+			o = a.objs[(tile+1)%tiles]
+		}
+		c.EntryX(o)
+		for w := 0; w < a.Words; w++ {
+			c.Write32(o, 4*w, c.Read32(o, 4*w)+1)
+		}
+		c.ExitX(o)
+		c.Compute(40)
+	}
+}
+
+// Checksum implements App: total increments must equal Iters×Words per
+// object chain regardless of release policy.
+func (a *Reacquire) Checksum(r *rt.Runtime) uint32 {
+	var sum uint32
+	for _, o := range a.objs {
+		for w := 0; w < a.Words; w++ {
+			sum += r.ReadObjectWord(o, w)
+		}
+	}
+	return sum
+}

@@ -1,0 +1,151 @@
+package workloads
+
+import (
+	"fmt"
+
+	"pmc/internal/rt"
+)
+
+// Stencil is a bulk-synchronous 1-D Jacobi relaxation with halo exchange —
+// the communication pattern of the cyclo-static dataflow applications the
+// paper's FIFO case study cites ([20, 21]), here used to exercise a
+// PMC-annotated barrier. Each tile owns one segment of the ring; per
+// iteration it reads its neighbours' boundary cells under entry_ro,
+// computes privately, publishes its new segment under entry_x, and crosses
+// a sense-reversing barrier built from nothing but the PMC annotations
+// (entry_x/exit_x for the arrival count, flushed sense word, entry_ro
+// polling). On DSM the barrier polls stay in local memory.
+type Stencil struct {
+	// SegWords is the number of cells each tile owns.
+	SegWords int
+	// Iters is the number of relaxation sweeps.
+	Iters int
+
+	segs []*rt.Object
+	bar  *barrier
+}
+
+// DefaultStencil returns the evaluation configuration.
+func DefaultStencil() *Stencil {
+	return &Stencil{SegWords: 16, Iters: 8}
+}
+
+// Name implements App.
+func (a *Stencil) Name() string { return "stencil" }
+
+// barrier is a sense-reversing central barrier on PMC annotations.
+type barrier struct {
+	count *rt.Object // arrivals this round
+	sense *rt.Object // flips every round
+	n     int
+}
+
+func newPMCBarrier(r *rt.Runtime, name string, n int) *barrier {
+	return &barrier{
+		count: r.Alloc(name+"-count", 4),
+		sense: r.Alloc(name+"-sense", 4),
+		n:     n,
+	}
+}
+
+// wait blocks until all n workers arrive. mySense must start at 0 and is
+// returned updated.
+func (b *barrier) wait(c *rt.Ctx, mySense uint32) uint32 {
+	want := mySense ^ 1
+	c.EntryX(b.count)
+	arrived := c.Read32(b.count, 0) + 1
+	if int(arrived) == b.n {
+		// Last arrival: reset the count and flip the sense. The
+		// fence orders the count reset before the sense release
+		// publishes the round (both are this process's writes).
+		c.Write32(b.count, 0, 0)
+		c.Fence()
+		c.ExitX(b.count)
+		c.EntryX(b.sense)
+		c.Write32(b.sense, 0, want)
+		c.Flush(b.sense)
+		c.ExitX(b.sense)
+		return want
+	}
+	c.Write32(b.count, 0, arrived)
+	c.ExitX(b.count)
+	// Spin on the flushed sense word.
+	for {
+		c.EntryRO(b.sense)
+		s := c.Read32(b.sense, 0)
+		c.ExitRO(b.sense)
+		if s == want {
+			return want
+		}
+		c.Compute(8)
+	}
+}
+
+// Setup implements App.
+func (a *Stencil) Setup(r *rt.Runtime, tiles int) {
+	a.bar = newPMCBarrier(r, "stencil-bar", tiles)
+	a.segs = make([]*rt.Object, tiles)
+	rnd := newRand(0xabcd)
+	for i := range a.segs {
+		a.segs[i] = r.Alloc(fmt.Sprintf("seg%d", i), a.SegWords*4)
+		words := make([]uint32, a.SegWords)
+		for w := range words {
+			words[w] = rnd.next() % 1000
+		}
+		r.InitObject(a.segs[i], words)
+	}
+}
+
+// Worker implements App.
+func (a *Stencil) Worker(c *rt.Ctx, tile, tiles int) {
+	c.SetCodeFootprint(2 * 1024)
+	left := a.segs[(tile+tiles-1)%tiles]
+	right := a.segs[(tile+1)%tiles]
+	own := a.segs[tile]
+	next := c.PrivAlloc(a.SegWords)
+	sense := uint32(0)
+	for it := 0; it < a.Iters; it++ {
+		// Read phase: own segment plus the neighbours' boundary
+		// cells; everyone only reads, so the RO scopes are race-free.
+		c.EntryRO(left)
+		lh := c.Read32(left, 4*(a.SegWords-1))
+		c.ExitRO(left)
+		c.EntryRO(right)
+		rh := c.Read32(right, 0)
+		c.ExitRO(right)
+		c.EntryRO(own)
+		prev := lh
+		for w := 0; w < a.SegWords; w++ {
+			cur := c.Read32(own, 4*w)
+			nxt := rh
+			if w+1 < a.SegWords {
+				nxt = c.Read32(own, 4*(w+1))
+			}
+			c.PWrite(next, w, (prev+cur+nxt)/3)
+			prev = cur
+			c.Compute(6)
+		}
+		c.ExitRO(own)
+		sense = a.bar.wait(c, sense)
+		// Write phase: publish the new segment.
+		c.EntryX(own)
+		for w := 0; w < a.SegWords; w++ {
+			c.Write32(own, 4*w, c.PRead(next, w))
+		}
+		c.ExitX(own)
+		sense = a.bar.wait(c, sense)
+	}
+}
+
+// Checksum implements App: fold of the final field, identical on every
+// backend because the barrier makes the computation bulk-synchronous and
+// deterministic.
+func (a *Stencil) Checksum(r *rt.Runtime) uint32 {
+	var sum uint32
+	for _, s := range a.segs {
+		for w := 0; w < a.SegWords; w++ {
+			sum = sum*31 + r.ReadObjectWord(s, w)
+		}
+	}
+	return sum
+}

@@ -1,0 +1,118 @@
+package workloads
+
+import (
+	"fmt"
+
+	"pmc/internal/rt"
+)
+
+// Volrend is the structural substitute for SPLASH-2 VOLREND: ray casting
+// through a read-only voxel volume organized in bricks, rendering private
+// output tiles claimed from a central queue. Compared to Raytrace it has a
+// larger code footprint (the paper's VOLREND bar shows the biggest I-cache
+// stall share) and even higher per-scope reuse: each brick is sampled at
+// many ray positions while resident.
+type Volrend struct {
+	// Bricks is the number of volume bricks.
+	Bricks int
+	// BrickWords is one brick's voxel payload in words.
+	BrickWords int
+	// Tiles is the number of output tiles (tasks).
+	OutTiles int
+	// RaysPerTile is the rays cast per output tile.
+	RaysPerTile int
+	// SamplesPerRay is the voxel samples taken per ray.
+	SamplesPerRay int
+	// ComputePerSample models the transfer-function/compositing math.
+	ComputePerSample int
+
+	queue  *taskCounter
+	bricks []*rt.Object
+	result *rt.Object
+}
+
+// DefaultVolrend returns the evaluation configuration.
+func DefaultVolrend() *Volrend {
+	return &Volrend{
+		Bricks:           128,
+		BrickWords:       64,
+		OutTiles:         256,
+		RaysPerTile:      4,
+		SamplesPerRay:    10,
+		ComputePerSample: 60,
+	}
+}
+
+// Name implements App.
+func (a *Volrend) Name() string { return "volrend" }
+
+// Setup implements App.
+func (a *Volrend) Setup(r *rt.Runtime, tiles int) {
+	a.queue = newTaskCounter(r, "vol-queue", a.OutTiles)
+	a.result = r.Alloc("image-sum", 4*tiles)
+	a.bricks = make([]*rt.Object, a.Bricks)
+	rnd := newRand(1234)
+	for i := range a.bricks {
+		a.bricks[i] = r.Alloc(fmt.Sprintf("brick%d", i), a.BrickWords*4)
+		words := make([]uint32, a.BrickWords)
+		for w := range words {
+			words[w] = rnd.next() & 0xff // voxel densities
+		}
+		r.InitObject(a.bricks[i], words)
+	}
+}
+
+// Worker implements App.
+func (a *Volrend) Worker(c *rt.Ctx, tile, tiles int) {
+	// VOLREND carries the largest code: the hot loop plus a 6 KiB cold
+	// section (octree traversal, transfer functions) revisited often —
+	// the biggest I-stall share of the three apps (Fig. 8).
+	c.SetCodeProfile(2048, 6144, 40)
+	priv := c.PrivAlloc(64)  // per-tile output scanline
+	lut := c.PrivAlloc(1024) // transfer-function lookup tables
+	var tileSum uint32
+	for {
+		task, ok := a.queue.next(c)
+		if !ok {
+			break
+		}
+		rnd := newRand(uint32(task)*2246822519 + 3266489917)
+		var acc uint32
+		for ray := 0; ray < a.RaysPerTile; ray++ {
+			// A ray stays within one brick for all its samples
+			// (coherent rays): high reuse per RO scope.
+			brick := a.bricks[rnd.intn(a.Bricks)]
+			c.EntryRO(brick)
+			pos := rnd.intn(a.BrickWords - 2)
+			for s := 0; s < a.SamplesPerRay; s++ {
+				d0 := c.Read32(brick, 4*pos)
+				d1 := c.Read32(brick, 4*(pos+1))
+				c.Compute(a.ComputePerSample)
+				acc += d0*3 + d1 // trilinear-ish blend
+				pos = (pos + 1) % (a.BrickWords - 2)
+			}
+			c.ExitRO(brick)
+			c.PWrite(priv, ray%64, acc)
+			// Transfer-function lookups against the private LUT.
+			idx := int(acc) % 768
+			for w := 0; w < 4; w++ {
+				acc ^= c.PRead(lut, idx)
+				idx = (idx + 131) % 768
+			}
+			c.Compute(40) // compositing
+		}
+		tileSum += acc
+	}
+	c.EntryX(a.result)
+	c.Write32(a.result, 4*tile, tileSum)
+	c.ExitX(a.result)
+}
+
+// Checksum implements App.
+func (a *Volrend) Checksum(r *rt.Runtime) uint32 {
+	var sum uint32
+	for w := 0; w < a.result.WordCount(); w++ {
+		sum += r.ReadObjectWord(a.result, w)
+	}
+	return sum
+}

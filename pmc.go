@@ -1,0 +1,258 @@
+// Package pmc is a Go reproduction of "Portable Memory Consistency for
+// Software Managed Distributed Memory in Many-Core SoC" (Rutgers, Bekooij,
+// Smit; IPPS 2013).
+//
+// PMC decouples an application from the memory consistency model of the
+// hardware it runs on: the application assumes only a minimal, weak,
+// synchronized memory model (five operations, four ordering relations) and
+// makes every additional ordering it needs explicit through annotations —
+// entry_x/exit_x, entry_ro/exit_ro, fence, flush. A runtime then implements
+// those annotations on whatever memory architecture is at hand.
+//
+// The package exposes four layers:
+//
+//   - the formal model (Execution, the Table I rules, read semantics and
+//     race detection) — the oracle everything else is tested against;
+//   - a litmus explorer that enumerates all outcomes of small annotated
+//     programs under the model;
+//   - a deterministic cycle-level simulator of the paper's 32-core
+//     MicroBlaze-style SoC: per-tile I/D caches, local dual-port memories,
+//     a shared SDRAM bus, a write-only NoC, and distributed locks;
+//   - the PMC runtime with one backend per architecture of the paper's
+//     Table II (uncached/SC reference, software cache coherency, DSM over
+//     the write-only NoC, scratch-pad staging) plus the paper's workloads
+//     and every experiment of the evaluation section.
+//
+// Quickstart:
+//
+//	sys, _ := pmc.NewSystem(pmc.DefaultConfig())
+//	r := pmc.NewRuntime(sys, pmc.SWCC())
+//	x := r.Alloc("X", 4)
+//	r.Spawn(0, "writer", func(c *pmc.Ctx) {
+//	    c.EntryX(x)
+//	    c.Write32(x, 0, 42)
+//	    c.ExitX(x)
+//	})
+//	_ = r.Run()
+//
+// See the examples/ directory for complete programs and DESIGN.md for the
+// system inventory.
+package pmc
+
+import (
+	"io"
+
+	"pmc/internal/core"
+	"pmc/internal/exp"
+	"pmc/internal/litmus"
+	"pmc/internal/rt"
+	"pmc/internal/sim"
+	"pmc/internal/soc"
+	"pmc/internal/stats"
+	"pmc/internal/trace"
+	"pmc/internal/workloads"
+)
+
+// ---- Formal model (Section IV) ----
+
+// Model types: operations, orderings, executions.
+type (
+	// Execution is a growing PMC dependency graph (Definition 1).
+	Execution = core.Execution
+	// Op is one issued memory operation.
+	Op = core.Op
+	// OpKind is read/write/acquire/release/fence.
+	OpKind = core.Kind
+	// Ord is one of the four ordering relations.
+	Ord = core.Ord
+	// ProcID identifies a model process.
+	ProcID = core.ProcID
+	// Loc identifies a model location.
+	Loc = core.Loc
+	// Value is a model value.
+	Value = core.Value
+)
+
+// Model operation kinds and ordering relations.
+const (
+	KRead    = core.KRead
+	KWrite   = core.KWrite
+	KAcquire = core.KAcquire
+	KRelease = core.KRelease
+	KFence   = core.KFence
+
+	OrdLocal   = core.OrdLocal
+	OrdProgram = core.OrdProgram
+	OrdSync    = core.OrdSync
+	OrdFence   = core.OrdFence
+)
+
+// NewExecution returns an initialized, empty execution.
+func NewExecution() *Execution { return core.NewExecution() }
+
+// RenderTableI prints the ordering-rule table in the paper's layout.
+func RenderTableI() string { return core.RenderTableI() }
+
+// ---- Litmus exploration ----
+
+type (
+	// LitmusProgram is a small annotated multi-threaded program.
+	LitmusProgram = litmus.Program
+	// LitmusThread is one thread of a litmus program.
+	LitmusThread = litmus.Thread
+	// LitmusInstr is one litmus instruction.
+	LitmusInstr = litmus.Instr
+	// LitmusResult is the outcome set of an exhaustive exploration.
+	LitmusResult = litmus.Result
+)
+
+// Explore enumerates all interleavings and read choices of p under PMC.
+func Explore(p LitmusProgram) (*LitmusResult, error) { return litmus.Explore(p) }
+
+// LitmusCatalog returns the paper's example programs.
+func LitmusCatalog() []LitmusProgram { return litmus.Catalog() }
+
+// LitmusByName looks up a cataloged program.
+func LitmusByName(name string) (LitmusProgram, bool) { return litmus.ByName(name) }
+
+// LitmusFenceOn returns a location-scoped fence instruction (§IV-D).
+func LitmusFenceOn(loc string) LitmusInstr { return litmus.FenceOn(loc) }
+
+// ---- Simulated system (Section V-B) ----
+
+type (
+	// Config describes the simulated SoC.
+	Config = soc.Config
+	// System is an assembled simulated SoC.
+	System = soc.System
+	// Tile is one processing element.
+	Tile = soc.Tile
+	// TileStats are the per-core stall counters of Fig. 8.
+	TileStats = soc.TileStats
+	// Time is simulated cycles.
+	Time = sim.Time
+)
+
+// DefaultConfig is the paper's 32-tile system.
+func DefaultConfig() Config { return soc.DefaultConfig() }
+
+// NewSystem builds a simulated SoC.
+func NewSystem(cfg Config) (*System, error) { return soc.New(cfg) }
+
+// ---- PMC runtime and annotations (Section V-A / Table II) ----
+
+type (
+	// Runtime binds a system and a backend.
+	Runtime = rt.Runtime
+	// Ctx is a worker's annotation API.
+	Ctx = rt.Ctx
+	// Object is an annotated shared object.
+	Object = rt.Object
+	// Backend implements the annotations for one architecture.
+	Backend = rt.Backend
+	// Recorder verifies a run against the formal model.
+	Recorder = rt.Recorder
+	// ScopeRO is the Fig. 10 scoped read-only helper.
+	ScopeRO = rt.ScopeRO
+	// ScopeX is the Fig. 10 scoped exclusive helper.
+	ScopeX = rt.ScopeX
+	// Trace records runtime events for CSV/Chrome-trace export.
+	Trace = trace.Trace
+	// TraceEvent is one recorded runtime event.
+	TraceEvent = trace.Event
+)
+
+// NewRuntime assembles a runtime over sys with the given backend.
+func NewRuntime(sys *System, b Backend) *Runtime { return rt.New(sys, b) }
+
+// Backend constructors, one per column of Table II.
+var (
+	// NoCC keeps shared data uncached (the Fig. 8 baseline and the SC
+	// reference).
+	NoCC = rt.NoCC
+	// SWCC is software cache coherency with eager release.
+	SWCC = rt.SWCC
+	// SWCCLazy is software cache coherency with lazy release.
+	SWCCLazy = rt.SWCCLazy
+	// DSM is distributed shared memory over the write-only NoC.
+	DSM = rt.DSM
+	// SPM is scratch-pad staging.
+	SPM = rt.SPM
+)
+
+// BackendNames lists the selectable backends.
+func BackendNames() []string { return append([]string(nil), rt.Backends...) }
+
+// BackendByName returns a backend by name.
+func BackendByName(name string) (Backend, error) { return rt.ByName(name) }
+
+// NewRecorder attaches a model recorder to r (call before Alloc).
+func NewRecorder(r *Runtime) *Recorder { return rt.NewRecorder(r) }
+
+// NewTrace returns an event trace; assign it to Runtime.Tracer before
+// spawning workers, then export with WriteCSV or WriteChrome.
+func NewTrace(limit int) *Trace { return trace.New(limit) }
+
+// NewScopeRO opens a read-only scope (entry_ro); close with Close.
+func NewScopeRO(c *Ctx, o *Object) ScopeRO { return rt.NewScopeRO(c, o) }
+
+// NewScopeX opens an exclusive scope (entry_x); close with Close.
+func NewScopeX(c *Ctx, o *Object) ScopeX { return rt.NewScopeX(c, o) }
+
+// ---- Workloads and experiments (Section VI) ----
+
+type (
+	// App is a runnable workload.
+	App = workloads.App
+	// Result is one measured run.
+	Result = workloads.Result
+	// Experiment is one table/figure reproduction.
+	Experiment = exp.Experiment
+	// ExpOptions selects experiment scale.
+	ExpOptions = exp.Options
+)
+
+// Workload constructors at the paper's evaluation sizes.
+var (
+	NewRadiosity = workloads.DefaultRadiosity
+	NewRaytrace  = workloads.DefaultRaytrace
+	NewVolrend   = workloads.DefaultVolrend
+	NewMFifo     = workloads.DefaultMFifo
+	NewMotionEst = workloads.DefaultMotionEst
+	NewMsgPass   = workloads.DefaultMsgPass
+)
+
+// RunApp executes a workload on a fresh system with the named backend.
+func RunApp(app App, cfg Config, backend string) (*Result, error) {
+	return workloads.Run(app, cfg, backend)
+}
+
+// RunAppTraced is RunApp with an event tracer attached.
+func RunAppTraced(app App, cfg Config, backend string, limit int) (*Result, *Trace, error) {
+	return workloads.RunTraced(app, cfg, backend, limit)
+}
+
+// AppByName returns a fresh workload instance by name (see AppNames).
+func AppByName(name string) (App, bool) { return workloads.ByName(name) }
+
+// AppNames lists the runnable workloads.
+func AppNames() []string { return append([]string(nil), workloads.Names...) }
+
+// Experiments returns every registered table/figure experiment.
+func Experiments() []Experiment { return exp.All() }
+
+// RunExperiment runs one experiment by ID (e.g. "fig8"), writing its report.
+func RunExperiment(w io.Writer, id string, o ExpOptions) error {
+	return exp.RunByID(w, id, o)
+}
+
+// RunAllExperiments reproduces every table and figure.
+func RunAllExperiments(w io.Writer, o ExpOptions) error { return exp.RunAll(w, o) }
+
+// RenderFig8 prints the stacked breakdown chart for grouped results.
+func RenderFig8(w io.Writer, groups map[string][]*Result, order []string) {
+	stats.RenderFig8(w, groups, order)
+}
+
+// Speedup returns b's execution-time improvement over a in percent.
+func Speedup(a, b *Result) float64 { return stats.Speedup(a, b) }

@@ -1,0 +1,115 @@
+package pmc_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"pmc"
+)
+
+// TestPublicQuickstart is the doc-comment example, end to end, through the
+// public API only.
+func TestPublicQuickstart(t *testing.T) {
+	cfg := pmc.DefaultConfig()
+	cfg.Tiles = 2
+	sys, err := pmc.NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := pmc.NewRuntime(sys, pmc.SWCC())
+	x := r.Alloc("X", 4)
+	flag := r.Alloc("flag", 4)
+	var got uint32
+	r.Spawn(0, "writer", func(c *pmc.Ctx) {
+		s := pmc.NewScopeX(c, x)
+		s.Write32(0, 42)
+		s.Close()
+		c.Fence()
+		f := pmc.NewScopeX(c, flag)
+		f.Write32(0, 1)
+		f.Flush()
+		f.Close()
+	})
+	r.Spawn(1, "reader", func(c *pmc.Ctx) {
+		for {
+			s := pmc.NewScopeRO(c, flag)
+			v := s.Read32(0)
+			s.Close()
+			if v == 1 {
+				break
+			}
+			c.Compute(8)
+		}
+		c.Fence()
+		s := pmc.NewScopeX(c, x)
+		got = s.Read32(0)
+		s.Close()
+	})
+	if err := r.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got != 42 {
+		t.Fatalf("reader got %d, want 42", got)
+	}
+}
+
+func TestPublicModel(t *testing.T) {
+	e := pmc.NewExecution()
+	x := e.AddLoc("X")
+	e.Write(0, x, 1)
+	rd := e.Read(0, x, 1)
+	if vals := e.ReadableValues(rd.ID); len(vals) != 1 || vals[0] != 1 {
+		t.Fatalf("readable = %v", vals)
+	}
+	if !strings.Contains(pmc.RenderTableI(), "≺S†") {
+		t.Fatal("Table I rendering broken")
+	}
+}
+
+func TestPublicLitmus(t *testing.T) {
+	prog, ok := pmc.LitmusByName("fig5-annotated")
+	if !ok {
+		t.Fatal("catalog missing fig5-annotated")
+	}
+	res, err := pmc.Explore(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.HasOutcome("poll=1 rX=42") {
+		t.Fatalf("outcomes: %v", res.OutcomeList())
+	}
+	if len(pmc.LitmusCatalog()) < 6 {
+		t.Fatal("catalog too small")
+	}
+}
+
+func TestPublicWorkloadsAndBackends(t *testing.T) {
+	cfg := pmc.DefaultConfig()
+	cfg.Tiles = 4
+	for _, name := range pmc.BackendNames() {
+		if _, err := pmc.BackendByName(name); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := pmc.RunApp(pmc.NewMsgPass(), cfg, "dsm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cycles == 0 {
+		t.Fatal("no cycles")
+	}
+}
+
+func TestPublicExperiments(t *testing.T) {
+	if len(pmc.Experiments()) < 17 {
+		t.Fatalf("only %d experiments registered", len(pmc.Experiments()))
+	}
+	var buf bytes.Buffer
+	if err := pmc.RunExperiment(&buf, "table1", pmc.ExpOptions{Scale: "small"}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "fence") {
+		t.Fatal("table1 output broken")
+	}
+}
