@@ -7,6 +7,8 @@
 //	pmclitmus -prog fig5-annotated
 //	pmclitmus -all               explore every program
 //	pmclitmus -table1            print the ordering-rule table
+//	pmclitmus -prog sb-drf -workers 8
+//	pmclitmus -prog sb-drf -workers 1 -memoize=false   (reference engine)
 package main
 
 import (
@@ -17,23 +19,45 @@ import (
 	"pmc"
 )
 
-func explore(p pmc.LitmusProgram) error {
-	res, err := pmc.Explore(p)
+type engineOpts struct {
+	workers   int
+	memoize   bool
+	maxStates int
+	stats     bool
+}
+
+func explore(p pmc.LitmusProgram, o engineOpts) error {
+	x := pmc.NewLitmusExplorer(p)
+	x.Workers = o.workers
+	x.Memoize = o.memoize
+	if o.maxStates > 0 {
+		x.MaxStates = o.maxStates
+	}
+	res, err := x.Run()
 	if err != nil {
 		return err
 	}
-	fmt.Printf("%s:\n%s\n", p.Name, res)
+	fmt.Printf("%s:\n%s", p.Name, res)
+	if o.stats {
+		fmt.Printf("states: %d\n", res.States)
+	}
+	fmt.Println()
 	return nil
 }
 
 func main() {
 	var (
-		prog   = flag.String("prog", "", "program name to explore (see -list)")
-		all    = flag.Bool("all", false, "explore every cataloged program")
-		list   = flag.Bool("list", false, "list programs")
-		table1 = flag.Bool("table1", false, "print the Table I ordering rules")
+		prog      = flag.String("prog", "", "program name to explore (see -list)")
+		all       = flag.Bool("all", false, "explore every cataloged program")
+		list      = flag.Bool("list", false, "list programs")
+		table1    = flag.Bool("table1", false, "print the Table I ordering rules")
+		workers   = flag.Int("workers", 0, "exploration goroutines (0 = GOMAXPROCS, 1 = sequential)")
+		memoize   = flag.Bool("memoize", true, "deduplicate canonical states (disable for the reference tree engine)")
+		maxStates = flag.Int("maxstates", 0, "state budget (0 = default)")
+		stats     = flag.Bool("stats", false, "also print explored-state counts")
 	)
 	flag.Parse()
+	opts := engineOpts{workers: *workers, memoize: *memoize, maxStates: *maxStates, stats: *stats}
 
 	switch {
 	case *table1:
@@ -47,7 +71,7 @@ func main() {
 		return
 	case *all:
 		for _, p := range pmc.LitmusCatalog() {
-			if err := explore(p); err != nil {
+			if err := explore(p, opts); err != nil {
 				fmt.Fprintln(os.Stderr, "pmclitmus:", err)
 				os.Exit(1)
 			}
@@ -59,7 +83,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "pmclitmus: unknown program %q\n", *prog)
 			os.Exit(1)
 		}
-		if err := explore(p); err != nil {
+		if err := explore(p, opts); err != nil {
 			fmt.Fprintln(os.Stderr, "pmclitmus:", err)
 			os.Exit(1)
 		}

@@ -1,0 +1,3 @@
+module pmc
+
+go 1.24

@@ -88,8 +88,12 @@ func (e *Execution) LastWrites(o int) []int {
 		// Unreachable if the location was created via AddLoc.
 		panic(fmt.Sprintf("core: no initial write reachable from %s", op))
 	}
-	// Keep the maximal ones: drop a if some other visible write b is
-	// p≺-after a.
+	return e.maximalWrites(visibleWrites, viewer)
+}
+
+// maximalWrites keeps the p≺-maximal elements of visibleWrites: a is
+// dropped when some other b in the set is viewer-reachable from it.
+func (e *Execution) maximalWrites(visibleWrites []int, viewer ProcID) []int {
 	var maximal []int
 	for _, a := range visibleWrites {
 		dominated := false
@@ -107,6 +111,53 @@ func (e *Execution) LastWrites(o int) []int {
 	return maximal
 }
 
+// LastWritesAt returns W for a hypothetical read of v by p issued against
+// the current execution, without mutating it. It is equivalent to
+//
+//	op := e.Clone().Read(p, v, 0); LastWrites(op.ID)
+//
+// but touches no state: the read's would-be in-edges are computed from the
+// Table I read rules, and the backward search starts from those
+// predecessors. Every in-edge of a new read is visible to p (global edges
+// are visible to all, and a local in-edge's To-endpoint is the read by p),
+// so the multi-source search over p-visible edges matches the issued-probe
+// result exactly.
+func (e *Execution) LastWritesAt(p ProcID, v Loc) []int {
+	if v == NoLoc {
+		panic("core: LastWritesAt of a fence")
+	}
+	seen := make([]bool, len(e.ops))
+	var queue []int
+	for _, r := range RulesFor(KRead) {
+		for _, from := range e.earlierMatching(r, p, v) {
+			if !seen[from] {
+				seen[from] = true
+				queue = append(queue, from)
+			}
+		}
+	}
+	var visibleWrites []int
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		f := e.ops[n]
+		if (f.Kind == KWrite || f.IsInit) && f.Loc == v {
+			visibleWrites = append(visibleWrites, n)
+		}
+		for _, ed := range e.in[n] {
+			if !e.visible(ed, p) || seen[ed.From] {
+				continue
+			}
+			seen[ed.From] = true
+			queue = append(queue, ed.From)
+		}
+	}
+	if len(visibleWrites) == 0 {
+		panic(fmt.Sprintf("core: no initial write reachable for read of v%d by p%d", v, p))
+	}
+	return e.maximalWrites(visibleWrites, p)
+}
+
 // IsRace reports whether reading at operation o is nondeterministic:
 // |W_o| > 1 (Section IV-D).
 func (e *Execution) IsRace(o int) bool { return len(e.LastWrites(o)) > 1 }
@@ -119,18 +170,32 @@ func (e *Execution) IsRace(o int) bool { return len(e.LastWrites(o)) > 1 }
 // already-issued set and apply per-process read monotonicity.
 func (e *Execution) ReadableFrom(o int) []int {
 	op := e.ops[o]
-	w := e.LastWrites(o)
-	viewer := op.Proc
+	return e.readableFromW(e.LastWrites(o), op.Loc, op.Proc, o)
+}
+
+// ReadableAt returns the writes a read of v by p could return if it were
+// issued against the current execution (Definition 12), computed without
+// mutating it. It matches Clone-plus-probe-read followed by ReadableFrom;
+// the litmus explorer uses it to enumerate read candidates on the live
+// graph instead of deep-cloning per probe.
+func (e *Execution) ReadableAt(p ProcID, v Loc) []int {
+	return e.readableFromW(e.LastWritesAt(p, v), v, p, -1)
+}
+
+// readableFromW expands a last-write set W into the full readable set:
+// every write b to v with a p⪯ b for some a ∈ W. skip (an op ID, or -1)
+// excludes the read itself when W came from an issued operation.
+func (e *Execution) readableFromW(w []int, v Loc, viewer ProcID, skip int) []int {
 	inW := make(map[int]bool, len(w))
 	for _, a := range w {
 		inW[a] = true
 	}
 	var out []int
 	for _, b := range e.ops {
-		if b.ID == o {
+		if b.ID == skip {
 			continue
 		}
-		if !(b.Kind == KWrite || b.IsInit) || b.Loc != op.Loc {
+		if !(b.Kind == KWrite || b.IsInit) || b.Loc != v {
 			continue
 		}
 		ok := inW[b.ID]

@@ -21,6 +21,7 @@ func TestRegistryComplete(t *testing.T) {
 		"table1", "table2",
 		"fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
 		"ablation-locks", "ablation-release", "ablation-scaling", "ablation-dcache", "ablation-granularity",
+		"ablation-explorer",
 		"ext-stencil", "ext-pc", "ext-scoped-fence", "ext-mesh", "ext-conformance",
 	}
 	for _, id := range want {
@@ -142,7 +143,8 @@ func TestFig10SmallScale(t *testing.T) {
 
 func TestAblations(t *testing.T) {
 	for _, id := range []string{"ablation-locks", "ablation-release", "ablation-scaling",
-		"ablation-dcache", "ablation-granularity", "ext-stencil", "ext-pc", "ext-scoped-fence", "ext-mesh", "ext-conformance"} {
+		"ablation-dcache", "ablation-granularity", "ablation-explorer",
+		"ext-stencil", "ext-pc", "ext-scoped-fence", "ext-mesh", "ext-conformance"} {
 		id := id
 		t.Run(id, func(t *testing.T) {
 			out := small(t, id)

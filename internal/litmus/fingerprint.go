@@ -1,0 +1,143 @@
+package litmus
+
+import (
+	"math/bits"
+	"sort"
+
+	"pmc/internal/core"
+)
+
+// Canonical state fingerprinting. Two exploration states are isomorphic —
+// they have identical futures, outcome for outcome and count for count —
+// when they agree on per-thread progress (pcs), lock holders, registers,
+// per-thread last-read views and the execution's dependency graph, after
+// relabeling operation IDs to a form independent of issue interleaving.
+//
+// The relabeling sorts operations by (process, program position): within
+// one process, issue order IS program order, so the per-process sequences
+// are interleaving-invariant, and the location-initialization ops (issued
+// by AddLoc before any thread runs) are identical in every state. All
+// model semantics consulted during exploration — Table I pattern matches,
+// visibility, reachability, last-write and readable sets — are functions
+// of the (ops, edges) graph structure, never of raw issue-order positions,
+// so the relabeled serialization captures the entire future behavior.
+//
+// The serialization is folded into a 128-bit hash (two independently
+// mixed 64-bit lanes) rather than kept as a key string: at ~2¹²⁸ the
+// collision probability over even millions of states is negligible
+// (birthday bound ≈ n²/2¹²⁸), and the memo table stays small.
+
+// fingerprint is a 128-bit canonical state hash, used as a memo-table key.
+type fingerprint struct {
+	hi, lo uint64
+}
+
+// fpHash accumulates 64-bit tokens into two independent lanes: an FNV-1a
+// style lane and a SplitMix64-finalizer style lane over a rotated copy.
+type fpHash struct {
+	hi, lo uint64
+}
+
+func newFpHash() fpHash {
+	return fpHash{hi: 14695981039346656037, lo: 0x9e3779b97f4a7c15}
+}
+
+func (h *fpHash) mix(x uint64) {
+	h.hi = (h.hi ^ x) * 1099511628211
+	l := h.lo ^ bits.RotateLeft64(x, 31)
+	l = (l ^ (l >> 30)) * 0xbf58476d1ce4e5b9
+	h.lo = l ^ (l >> 27)
+}
+
+func (h *fpHash) mixInt(x int) { h.mix(uint64(int64(x))) }
+
+func (h *fpHash) mixString(s string) {
+	h.mixInt(len(s))
+	for i := 0; i < len(s); i++ {
+		h.mix(uint64(s[i]))
+	}
+}
+
+// fingerprint computes the canonical hash of s.
+func (x *Explorer) fingerprint(s *state) fingerprint {
+	ops := s.exec.Ops()
+	// canon[id] is the interleaving-invariant label of op id: init ops
+	// first (they are ops 0..NumLocs-1, identical in every state), then
+	// each thread's ops in program order.
+	canon := make([]int, len(ops))
+	order := make([]int, len(ops))
+	perProc := make([][]int, len(x.prog.Threads))
+	idx := 0
+	for _, op := range ops {
+		if op.Proc == core.InitProc {
+			canon[op.ID] = idx
+			order[idx] = op.ID
+			idx++
+		} else {
+			perProc[op.Proc] = append(perProc[op.Proc], op.ID)
+		}
+	}
+	for _, ids := range perProc {
+		for _, id := range ids {
+			canon[id] = idx
+			order[idx] = id
+			idx++
+		}
+	}
+
+	h := newFpHash()
+	// Ops in canonical order.
+	h.mixInt(len(ops))
+	for _, id := range order {
+		op := ops[id]
+		h.mix(uint64(op.Kind))
+		h.mixInt(int(op.Proc))
+		h.mixInt(int(op.Loc))
+		h.mix(uint64(op.Val))
+		if op.IsInit {
+			h.mix(1)
+		} else {
+			h.mix(0)
+		}
+	}
+	// Edges, relabeled and sorted. Op counts in litmus explorations are
+	// tiny (< 2²⁰), so an edge packs into one uint64.
+	var edges []uint64
+	for id := range ops {
+		for _, ed := range s.exec.Out(id) {
+			edges = append(edges, uint64(canon[ed.From])<<34|uint64(canon[ed.To])<<4|uint64(ed.Ord))
+		}
+	}
+	sort.Slice(edges, func(i, j int) bool { return edges[i] < edges[j] })
+	h.mixInt(len(edges))
+	for _, e := range edges {
+		h.mix(e)
+	}
+	// Thread progress, lock holders, last-read views (relabeled), regs.
+	for _, pc := range s.pcs {
+		h.mixInt(pc)
+	}
+	for _, holder := range s.lockHolder {
+		h.mixInt(holder)
+	}
+	for _, lr := range s.lastRead {
+		for _, id := range lr {
+			if id < 0 {
+				h.mixInt(-1)
+			} else {
+				h.mixInt(canon[id])
+			}
+		}
+	}
+	h.mixInt(len(s.regs))
+	regNames := make([]string, 0, len(s.regs))
+	for name := range s.regs {
+		regNames = append(regNames, name)
+	}
+	sort.Strings(regNames)
+	for _, name := range regNames {
+		h.mixString(name)
+		h.mix(uint64(s.regs[name]))
+	}
+	return fingerprint{hi: h.hi, lo: h.lo}
+}

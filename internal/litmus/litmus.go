@@ -22,6 +22,7 @@ package litmus
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"strings"
 
@@ -104,12 +105,18 @@ type Program struct {
 // Result summarizes an exploration.
 type Result struct {
 	// Outcomes maps a canonical register assignment ("r1=42 r2=0") to
-	// the number of distinct executions producing it.
+	// the number of distinct executions producing it. The count is the
+	// number of complete interleaving/read-choice paths, identical
+	// across sequential, memoized and parallel exploration modes.
 	Outcomes map[string]int
 	// Stuck counts executions that reached a state with no enabled
 	// instruction before all threads finished (deadlock/livelock).
 	Stuck int
-	// States is the number of explored states (a cost metric).
+	// States is the number of explored states — a cost metric, not part
+	// of the semantics. Without memoization it counts exploration-tree
+	// nodes; with memoization it counts distinct canonical states, which
+	// is typically far smaller. Within one mode it is deterministic
+	// run-to-run, including under parallel exploration.
 	States int
 }
 
@@ -167,22 +174,73 @@ func (s *state) clone() *state {
 }
 
 // Explorer runs exhaustive exploration of a program.
+//
+// The zero-configuration path (NewExplorer / Explore) uses the memoized
+// parallel engine: converging interleavings are deduplicated by canonical
+// state fingerprint and independent subtrees run on a worker pool. Both
+// features can be disabled per field; every mode produces identical
+// Outcomes, Stuck and outcome lists, bit-for-bit, run-to-run.
 type Explorer struct {
 	prog   Program
 	locIdx map[string]core.Loc
-	res    Result
-	// MaxStates aborts pathological explorations.
+	// MaxStates aborts pathological explorations. An exploration that
+	// completes using exactly MaxStates states succeeds; the budget
+	// error is returned only when work remained beyond it.
 	MaxStates int
+	// Workers is the number of exploration goroutines. 0 means
+	// GOMAXPROCS; 1 explores sequentially.
+	Workers int
+	// Memoize enables canonical-state deduplication: states reached by
+	// different interleavings that are isomorphic (same per-thread
+	// progress, lock holders, registers, read views and dependency
+	// graph modulo issue-order relabeling) share one subtree, with
+	// path-counted outcomes matching plain tree enumeration exactly.
+	Memoize bool
 }
 
-// NewExplorer prepares an exploration of p.
+// NewExplorer prepares an exploration of p with the default engine
+// (memoized, GOMAXPROCS workers).
 func NewExplorer(p Program) *Explorer {
-	return &Explorer{prog: p, MaxStates: 2_000_000}
+	return &Explorer{prog: p, MaxStates: 2_000_000, Memoize: true}
 }
 
 // Explore runs the exhaustive search and returns the result.
 func Explore(p Program) (*Result, error) {
 	return NewExplorer(p).Run()
+}
+
+// validate rejects malformed programs before exploration: unknown
+// locations, and releases of a lock the thread cannot hold. Lock holding
+// is static per thread — an acquire by t makes t the holder until t's own
+// release — so a release-without-hold is detectable from the thread's
+// instruction sequence alone, independent of interleaving. The check is
+// deliberately stricter than dynamic reachability: a program containing a
+// non-holder release is rejected even if exploration would never step it
+// (e.g. it sits behind an unsatisfiable await), which also keeps the
+// error deterministic under parallel exploration.
+func (x *Explorer) validate() error {
+	for ti, th := range x.prog.Threads {
+		held := make(map[string]int)
+		for pc, in := range th {
+			if in.Kind == IFence && in.Loc == "" {
+				continue
+			}
+			if _, ok := x.locIdx[in.Loc]; !ok {
+				return fmt.Errorf("litmus %s: unknown location %q", x.prog.Name, in.Loc)
+			}
+			switch in.Kind {
+			case IAcquire:
+				held[in.Loc]++
+			case IRelease:
+				if held[in.Loc] == 0 {
+					return fmt.Errorf("litmus %s: thread %d instruction %d releases %s without holding it",
+						x.prog.Name, ti, pc, in.Loc)
+				}
+				held[in.Loc]--
+			}
+		}
+	}
+	return nil
 }
 
 // Run executes the exploration.
@@ -192,15 +250,8 @@ func (x *Explorer) Run() (*Result, error) {
 	for _, name := range x.prog.Locs {
 		x.locIdx[name] = exec.AddLoc(name)
 	}
-	for _, th := range x.prog.Threads {
-		for _, in := range th {
-			if in.Kind == IFence && in.Loc == "" {
-				continue
-			}
-			if _, ok := x.locIdx[in.Loc]; !ok {
-				return nil, fmt.Errorf("litmus %s: unknown location %q", x.prog.Name, in.Loc)
-			}
-		}
+	if err := x.validate(); err != nil {
+		return nil, err
 	}
 	s := &state{
 		exec:       exec,
@@ -218,28 +269,43 @@ func (x *Explorer) Run() (*Result, error) {
 			s.lastRead[i][j] = -1
 		}
 	}
-	x.res = Result{Outcomes: make(map[string]int)}
-	x.dfs(s)
-	if x.res.States >= x.MaxStates {
-		return nil, fmt.Errorf("litmus %s: state budget exhausted (%d)", x.prog.Name, x.MaxStates)
+	workers := x.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
 	}
-	return &x.res, nil
+	g := &engine{x: x, memoize: x.Memoize, maxStates: int64(x.MaxStates)}
+	var (
+		res *subResult
+		err error
+	)
+	if workers == 1 {
+		res, err = g.explore(s)
+	} else {
+		res, err = g.runParallel(s, workers)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if g.budgetHit.Load() {
+		return nil, fmt.Errorf("litmus %s: state budget exhausted (budget %d, work remained)",
+			x.prog.Name, x.MaxStates)
+	}
+	out := &Result{Outcomes: res.outcomes, Stuck: res.stuck, States: int(g.states.Load())}
+	if out.Outcomes == nil {
+		out.Outcomes = make(map[string]int)
+	}
+	return out, nil
 }
 
 // readCandidates returns the write op IDs a read of loc by thread t may
-// return in state s, honoring Definition 12 and read monotonicity.
+// return in state s, honoring Definition 12 and read monotonicity. The
+// readable set is computed against the live execution (core.ReadableAt);
+// no clone is taken.
 func (x *Explorer) readCandidates(s *state, t int, loc core.Loc) []int {
-	// Issue a probe read to compute W and the readable set, on a clone
-	// so the real state is untouched.
-	probe := s.exec.Clone()
-	op := probe.Read(core.ProcID(t), loc, 0)
-	cands := probe.ReadableFrom(op.ID)
+	cands := s.exec.ReadableAt(core.ProcID(t), loc)
 	last := s.lastRead[t][loc]
 	var out []int
 	for _, b := range cands {
-		if b == op.ID {
-			continue
-		}
 		// Monotonicity: never read a write that is strictly before
 		// the one we already observed, in our own view.
 		if last >= 0 && b != last {
@@ -253,11 +319,13 @@ func (x *Explorer) readCandidates(s *state, t int, loc core.Loc) []int {
 }
 
 // step returns the successor states of s for thread t, or nil if t is
-// blocked (or finished).
-func (x *Explorer) step(s *state, t int) []*state {
+// blocked (or finished). Malformed programs (a release by a non-holder)
+// surface as an error; validate catches them statically before exploration,
+// so this path is defense in depth.
+func (x *Explorer) step(s *state, t int) ([]*state, error) {
 	th := x.prog.Threads[t]
 	if s.pcs[t] >= len(th) {
-		return nil
+		return nil, nil
 	}
 	in := th[s.pcs[t]]
 	p := core.ProcID(t)
@@ -266,7 +334,7 @@ func (x *Explorer) step(s *state, t int) []*state {
 		n := s.clone()
 		n.exec.Write(p, x.locIdx[in.Loc], in.Val)
 		n.pcs[t]++
-		return []*state{n}
+		return []*state{n}, nil
 	case IFence:
 		n := s.clone()
 		if in.Loc != "" {
@@ -275,32 +343,32 @@ func (x *Explorer) step(s *state, t int) []*state {
 			n.exec.Fence(p)
 		}
 		n.pcs[t]++
-		return []*state{n}
+		return []*state{n}, nil
 	case IFlush:
 		n := s.clone()
 		n.pcs[t]++
-		return []*state{n}
+		return []*state{n}, nil
 	case IAcquire:
 		loc := x.locIdx[in.Loc]
 		if s.lockHolder[loc] != -1 {
-			return nil // blocked
+			return nil, nil // blocked
 		}
 		n := s.clone()
 		n.exec.Acquire(p, loc)
 		n.lockHolder[loc] = t
 		n.pcs[t]++
-		return []*state{n}
+		return []*state{n}, nil
 	case IRelease:
 		loc := x.locIdx[in.Loc]
 		if s.lockHolder[loc] != t {
-			panic(fmt.Sprintf("litmus %s: thread %d releases %s without holding it",
-				x.prog.Name, t, in.Loc))
+			return nil, fmt.Errorf("litmus %s: thread %d releases %s without holding it",
+				x.prog.Name, t, in.Loc)
 		}
 		n := s.clone()
 		n.exec.Release(p, loc)
 		n.lockHolder[loc] = -1
 		n.pcs[t]++
-		return []*state{n}
+		return []*state{n}, nil
 	case IRead, IAwaitEq:
 		loc := x.locIdx[in.Loc]
 		cands := x.readCandidates(s, t, loc)
@@ -322,36 +390,9 @@ func (x *Explorer) step(s *state, t int) []*state {
 			n.pcs[t]++
 			succs = append(succs, n)
 		}
-		return succs // empty = blocked (await not yet satisfiable)
+		return succs, nil // empty = blocked (await not yet satisfiable)
 	}
-	panic("litmus: unknown instruction")
-}
-
-func (x *Explorer) dfs(s *state) {
-	if x.res.States >= x.MaxStates {
-		return
-	}
-	x.res.States++
-	allDone := true
-	anyStep := false
-	for t := range x.prog.Threads {
-		if s.pcs[t] < len(x.prog.Threads[t]) {
-			allDone = false
-		}
-	}
-	if allDone {
-		x.res.Outcomes[canonical(s.regs)]++
-		return
-	}
-	for t := range x.prog.Threads {
-		for _, n := range x.step(s, t) {
-			anyStep = true
-			x.dfs(n)
-		}
-	}
-	if !anyStep {
-		x.res.Stuck++
-	}
+	return nil, fmt.Errorf("litmus %s: unknown instruction kind %d", x.prog.Name, in.Kind)
 }
 
 // canonical renders a register assignment deterministically.

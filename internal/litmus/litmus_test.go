@@ -1,6 +1,7 @@
 package litmus
 
 import (
+	"reflect"
 	"testing"
 	"testing/quick"
 
@@ -146,6 +147,189 @@ func TestUnknownLocationRejected(t *testing.T) {
 	}
 	if _, err := Explore(p); err == nil {
 		t.Fatal("unknown location not rejected")
+	}
+}
+
+// TestReleaseWithoutHoldIsError: a malformed program whose thread releases
+// a lock it never acquired (or already released) must surface as an error
+// from Explore, not a panic.
+func TestReleaseWithoutHoldIsError(t *testing.T) {
+	cases := []Program{
+		{
+			Name:    "release-never-acquired",
+			Locs:    []string{"X"},
+			Threads: []Thread{{Release("X")}},
+		},
+		{
+			Name:    "release-twice",
+			Locs:    []string{"X"},
+			Threads: []Thread{{Acquire("X"), Release("X"), Release("X")}, {Acquire("X"), Release("X")}},
+		},
+		{
+			// Validation is static and deliberately stricter than
+			// reachability: the release hides behind an await nobody
+			// satisfies, so exploration would never step it, but the
+			// program is malformed and gets rejected up front.
+			Name:    "release-unreachable",
+			Locs:    []string{"X"},
+			Threads: []Thread{{AwaitEq("X", 5, ""), Release("X")}},
+		},
+	}
+	for _, p := range cases {
+		t.Run(p.Name, func(t *testing.T) {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("Explore panicked: %v", r)
+				}
+			}()
+			if _, err := Explore(p); err == nil {
+				t.Fatal("release without hold not rejected")
+			}
+		})
+	}
+}
+
+// TestMaxStatesBoundary: an exploration that completes using exactly
+// MaxStates states succeeds; the budget error fires only when work
+// remained beyond it. Checked in both tree and memoized modes (regression
+// for the off-by-one that reported boundary completions as exhausted).
+func TestMaxStatesBoundary(t *testing.T) {
+	for _, mode := range []struct {
+		name    string
+		memoize bool
+	}{{"tree", false}, {"memoized", true}} {
+		t.Run(mode.name, func(t *testing.T) {
+			x := NewExplorer(MutexCounter())
+			x.Workers, x.Memoize = 1, mode.memoize
+			r, err := x.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			n := r.States
+
+			exact := NewExplorer(MutexCounter())
+			exact.Workers, exact.Memoize = 1, mode.memoize
+			exact.MaxStates = n
+			re, err := exact.Run()
+			if err != nil {
+				t.Fatalf("completion at the budget boundary (%d states) wrongly reported exhausted: %v", n, err)
+			}
+			if re.States != n {
+				t.Fatalf("boundary run explored %d states, want %d", re.States, n)
+			}
+
+			under := NewExplorer(MutexCounter())
+			under.Workers, under.Memoize = 1, mode.memoize
+			under.MaxStates = n - 1
+			if _, err := under.Run(); err == nil {
+				t.Fatalf("budget %d below the %d required did not error", n-1, n)
+			}
+		})
+	}
+}
+
+// TestDifferentialModes runs every cataloged program through sequential
+// tree, memoized, parallel tree and parallel memoized exploration and
+// requires identical Outcomes, Stuck and outcome lists. States must agree
+// within a counting discipline (tree vs tree, memoized vs memoized). The
+// stress program is exempted from the tree modes — not finishing there is
+// its purpose (covered by TestStressNeedsMemoization).
+func TestDifferentialModes(t *testing.T) {
+	modes := []struct {
+		name    string
+		workers int
+		memoize bool
+	}{
+		{"sequential", 1, false},
+		{"memoized", 1, true},
+		{"parallel-tree", 4, false},
+		{"parallel-memoized", 4, true},
+	}
+	for _, p := range Catalog() {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			results := make(map[string]*Result)
+			for _, m := range modes {
+				if p.Name == "stress-independent" && !m.memoize {
+					continue
+				}
+				x := NewExplorer(p)
+				x.Workers, x.Memoize = m.workers, m.memoize
+				r, err := x.Run()
+				if err != nil {
+					t.Fatalf("%s: %v", m.name, err)
+				}
+				results[m.name] = r
+			}
+			ref := results["memoized"]
+			for name, r := range results {
+				if !reflect.DeepEqual(r.Outcomes, ref.Outcomes) {
+					t.Errorf("%s outcomes %v != memoized %v", name, r.Outcomes, ref.Outcomes)
+				}
+				if r.Stuck != ref.Stuck {
+					t.Errorf("%s stuck %d != memoized %d", name, r.Stuck, ref.Stuck)
+				}
+				if !reflect.DeepEqual(r.OutcomeList(), ref.OutcomeList()) {
+					t.Errorf("%s outcome list %v != memoized %v", name, r.OutcomeList(), ref.OutcomeList())
+				}
+			}
+			if seq, ok := results["sequential"]; ok {
+				if results["parallel-tree"].States != seq.States {
+					t.Errorf("parallel tree explored %d states, sequential %d", results["parallel-tree"].States, seq.States)
+				}
+			}
+			if results["parallel-memoized"].States != ref.States {
+				t.Errorf("parallel memoized explored %d states, memoized %d", results["parallel-memoized"].States, ref.States)
+			}
+		})
+	}
+}
+
+// TestParallelDeterministic: repeated parallel runs are bit-identical.
+func TestParallelDeterministic(t *testing.T) {
+	var ref *Result
+	for i := 0; i < 5; i++ {
+		x := NewExplorer(WRCDRF())
+		x.Workers = 4
+		r, err := x.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ref == nil {
+			ref = r
+			continue
+		}
+		if !reflect.DeepEqual(r, ref) {
+			t.Fatalf("run %d differs: %+v vs %+v", i, r, ref)
+		}
+	}
+}
+
+// TestStressNeedsMemoization: the stress program exceeds any reasonable
+// tree budget but collapses to under a thousand canonical states, with the
+// full 2×10⁸ path count preserved in the outcome totals.
+func TestStressNeedsMemoization(t *testing.T) {
+	tree := NewExplorer(StressIndependent())
+	tree.Workers, tree.Memoize = 1, false
+	tree.MaxStates = 50_000
+	if _, err := tree.Run(); err == nil {
+		t.Fatal("tree exploration finished the stress program inside 50k states — it is not stressful enough")
+	}
+
+	r := explore(t, StressIndependent())
+	if r.States >= 10_000 {
+		t.Errorf("memoization left %d states, want a collapse below 10k", r.States)
+	}
+	total := 0
+	for _, n := range r.Outcomes {
+		total += n
+	}
+	if total != 214_414_200 {
+		t.Errorf("total path count %d, want 214414200 (multinomial of the interleavings)", total)
+	}
+	want := []string{"rA=2 rB=2 rC=7 rD=2"}
+	if !reflect.DeepEqual(r.OutcomeList(), want) {
+		t.Errorf("outcomes %v, want %v", r.OutcomeList(), want)
 	}
 }
 

@@ -235,6 +235,35 @@ func WRCDRF() Program {
 	}
 }
 
+// StressIndependent is a deliberately state-heavy program: four threads
+// work on private locations (with a lock, a fence and trailing reads mixed
+// in), so the interleaving tree has ~2×10⁸ complete paths — two orders of
+// magnitude past the explorer's default 2M-state budget, which is why
+// plain tree enumeration cannot finish it. Because the threads share no
+// location, every interleaving of a given per-thread progress vector
+// produces an isomorphic dependency graph, and canonical-state memoization
+// collapses the search to under a thousand distinct states.
+func StressIndependent() Program {
+	return Program{
+		Name: "stress-independent",
+		Locs: []string{"A", "B", "C", "D"},
+		Threads: []Thread{
+			{
+				Acquire("A"), Write("A", 1), Write("A", 2), Release("A"), Read("A", "rA"),
+			},
+			{
+				Write("B", 1), Write("B", 2), Read("B", "rB"), Write("B", 3),
+			},
+			{
+				Acquire("C"), Write("C", 7), Release("C"), Read("C", "rC"),
+			},
+			{
+				Write("D", 1), Fence(), Write("D", 2), Read("D", "rD"),
+			},
+		},
+	}
+}
+
 // Catalog returns all named programs.
 func Catalog() []Program {
 	return []Program{
@@ -250,6 +279,7 @@ func Catalog() []Program {
 		LoadBuffering(),
 		IRIW(),
 		WRCDRF(),
+		StressIndependent(),
 	}
 }
 

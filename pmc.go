@@ -104,10 +104,19 @@ type (
 	LitmusInstr = litmus.Instr
 	// LitmusResult is the outcome set of an exhaustive exploration.
 	LitmusResult = litmus.Result
+	// LitmusExplorer is a configurable exploration: set Workers (0 =
+	// GOMAXPROCS, 1 = sequential), Memoize (canonical-state
+	// deduplication) and MaxStates before Run. Every mode produces
+	// identical outcomes.
+	LitmusExplorer = litmus.Explorer
 )
 
-// Explore enumerates all interleavings and read choices of p under PMC.
+// Explore enumerates all interleavings and read choices of p under PMC
+// with the default engine (memoized, parallel).
 func Explore(p LitmusProgram) (*LitmusResult, error) { return litmus.Explore(p) }
+
+// NewLitmusExplorer prepares a configurable exploration of p.
+func NewLitmusExplorer(p LitmusProgram) *LitmusExplorer { return litmus.NewExplorer(p) }
 
 // LitmusCatalog returns the paper's example programs.
 func LitmusCatalog() []LitmusProgram { return litmus.Catalog() }
