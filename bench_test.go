@@ -377,6 +377,44 @@ func BenchmarkExtScopedFenceModel(b *testing.B) {
 	}
 }
 
+// sweepBenchSpec is the acceptance-criteria grid — the three SPLASH
+// substitutes × the four architecture backends × a tile range — at CI app
+// sizes so one sweep stays in benchmark territory.
+func sweepBenchSpec(workers int) pmc.SweepSpec {
+	return pmc.SweepSpec{
+		Apps:     []string{"radiosity", "raytrace", "volrend"},
+		Backends: []string{"nocc", "swcc", "dsm", "spm"},
+		Tiles:    []int{2, 4, 8, 16, 32, 64},
+		Workers:  workers,
+		Make: func(c pmc.SweepCell) (pmc.App, error) {
+			app, _ := pmc.ScaledApp(c.App, true)
+			return app, nil
+		},
+	}
+}
+
+// BenchmarkSweep compares 1-worker and N-worker wall-clock on the same
+// grid: the speedup of the parallel sweep engine (results are
+// byte-identical either way; TestSweepDeterminism asserts that).
+func BenchmarkSweep(b *testing.B) {
+	for _, mode := range []struct {
+		name    string
+		workers int
+	}{{"1worker", 1}, {"maxworkers", 0}} {
+		b.Run(mode.name, func(b *testing.B) {
+			var cells int
+			for i := 0; i < b.N; i++ {
+				table, err := pmc.Sweep(sweepBenchSpec(mode.workers))
+				if err != nil {
+					b.Fatal(err)
+				}
+				cells = len(table.Rows)
+			}
+			b.ReportMetric(float64(cells), "cells/op")
+		})
+	}
+}
+
 // BenchmarkVerifiedRun measures the cost of running a workload with the
 // formal-model recorder attached (the differential-testing mode).
 func BenchmarkVerifiedRun(b *testing.B) {

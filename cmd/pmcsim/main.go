@@ -1,5 +1,6 @@
 // Command pmcsim reproduces the paper's tables and figures on the
-// simulated many-core SoC.
+// simulated many-core SoC, and runs parallel batch sweeps over the
+// experiment grid.
 //
 // Usage:
 //
@@ -7,12 +8,16 @@
 //	pmcsim -exp fig8             run one experiment (paper scale)
 //	pmcsim -exp fig8 -scale small -tiles 8
 //	pmcsim -all                  run every experiment in order
+//	pmcsim -sweep radiosity,raytrace,volrend -tilelist 2,4,8,16,32,64 \
+//	       -backends nocc,swcc,dsm,spm -topo both -json results.json
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"strconv"
 	"strings"
 
 	"pmc"
@@ -28,6 +33,14 @@ func main() {
 		runApp   = flag.String("run", "", "run one workload (see -list) instead of an experiment")
 		backend  = flag.String("backend", "swcc", "backend for -run: "+strings.Join(pmc.BackendNames(), ", "))
 		traceOut = flag.String("trace", "", "with -run: write a Chrome-trace JSON of the run to this file")
+
+		sweepApps = flag.String("sweep", "", `comma-separated workloads to sweep ("splash" = radiosity,raytrace,volrend; "all" = every workload)`)
+		backends  = flag.String("backends", "nocc,swcc,dsm,spm", "with -sweep: comma-separated backend axis")
+		tileList  = flag.String("tilelist", "2,4,8,16,32", "with -sweep: comma-separated tile-count axis")
+		topo      = flag.String("topo", "ring", `with -sweep: NoC topology axis: "ring", "mesh" or "both"`)
+		parallel  = flag.Int("parallel", 0, "max concurrent simulations in sweeps and experiments (0 = GOMAXPROCS, 1 = sequential)")
+		jsonOut   = flag.String("json", "", `with -sweep: write the JSON result table to this file ("-" = stdout)`)
+		csvOut    = flag.String("csv", "", `with -sweep: write the CSV result table to this file ("-" = stdout)`)
 	)
 	flag.Parse()
 
@@ -42,6 +55,12 @@ func main() {
 			fmt.Printf("  %s\n", n)
 		}
 		return
+	case *sweepApps != "":
+		if err := runSweep(*sweepApps, *backends, *tileList, *topo, *scale, *parallel, *jsonOut, *csvOut); err != nil {
+			fmt.Fprintln(os.Stderr, "pmcsim:", err)
+			os.Exit(1)
+		}
+		return
 	case *runApp != "":
 		if err := runWorkload(*runApp, *backend, *tiles, *traceOut); err != nil {
 			fmt.Fprintln(os.Stderr, "pmcsim:", err)
@@ -49,14 +68,14 @@ func main() {
 		}
 		return
 	case *all:
-		opts := pmc.ExpOptions{Tiles: *tiles, Scale: *scale}
+		opts := pmc.ExpOptions{Tiles: *tiles, Scale: *scale, Workers: *parallel}
 		if err := pmc.RunAllExperiments(os.Stdout, opts); err != nil {
 			fmt.Fprintln(os.Stderr, "pmcsim:", err)
 			os.Exit(1)
 		}
 		return
 	case *expID != "":
-		opts := pmc.ExpOptions{Tiles: *tiles, Scale: *scale}
+		opts := pmc.ExpOptions{Tiles: *tiles, Scale: *scale, Workers: *parallel}
 		if err := pmc.RunExperiment(os.Stdout, *expID, opts); err != nil {
 			fmt.Fprintln(os.Stderr, "pmcsim:", err)
 			os.Exit(1)
@@ -65,6 +84,115 @@ func main() {
 	}
 	flag.Usage()
 	os.Exit(2)
+}
+
+// runSweep expands the flag grid into a SweepSpec, runs it, and emits the
+// requested tables.
+func runSweep(apps, backends, tileList, topo, scale string, parallel int, jsonOut, csvOut string) error {
+	switch scale {
+	case "", "small", "full":
+	default:
+		return fmt.Errorf(`unknown scale %q (valid: small, full)`, scale)
+	}
+	small := scale == "small"
+
+	switch apps {
+	case "splash":
+		apps = "radiosity,raytrace,volrend"
+	case "all":
+		apps = strings.Join(pmc.AppNames(), ",")
+	}
+	spec := pmc.SweepSpec{
+		Apps:     splitList(apps),
+		Backends: splitList(backends),
+		Workers:  parallel,
+		Make: func(c pmc.SweepCell) (pmc.App, error) {
+			app, ok := pmc.ScaledApp(c.App, small)
+			if !ok {
+				return nil, fmt.Errorf("unknown app %q (have %s)", c.App, strings.Join(pmc.AppNames(), ", "))
+			}
+			return app, nil
+		},
+	}
+	for _, s := range strings.Split(tileList, ",") {
+		t, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil {
+			return fmt.Errorf("bad -tilelist entry %q: %w", s, err)
+		}
+		spec.Tiles = append(spec.Tiles, t)
+	}
+	switch topo {
+	case "both":
+		spec.Topos = []pmc.NoCTopology{pmc.TopoRing, pmc.TopoMesh}
+	default:
+		tp, err := pmc.ParseTopology(topo)
+		if err != nil {
+			return fmt.Errorf(`bad -topo %q (valid: ring, mesh, both)`, topo)
+		}
+		spec.Topos = []pmc.NoCTopology{tp}
+	}
+
+	// A failed cell does not void the batch: Sweep still returns every
+	// completed row (failures carry a per-row err), so emit what ran and
+	// report the failure afterwards.
+	table, err := pmc.Sweep(spec)
+	if table == nil {
+		return err
+	}
+	// err (the first failed cell) is returned after emission so the exit
+	// code still reports the failure.
+	if jsonOut != "" {
+		if err := emit(jsonOut, table.WriteJSON); err != nil {
+			return err
+		}
+	}
+	if csvOut != "" {
+		if err := emit(csvOut, table.WriteCSV); err != nil {
+			return err
+		}
+	}
+	if jsonOut != "-" && csvOut != "-" {
+		fmt.Printf("%-12s %-10s %6s %6s %12s %12s %10s\n",
+			"app", "backend", "tiles", "topo", "cycles", "flit-hops", "checksum")
+		for _, r := range table.Rows {
+			if r.Err != "" {
+				fmt.Printf("%-12s %-10s %6d %6s FAILED: %s\n",
+					r.App, r.Backend, r.Tiles, r.Topology, r.Err)
+				continue
+			}
+			fmt.Printf("%-12s %-10s %6d %6s %12d %12d %#10x\n",
+				r.App, r.Backend, r.Tiles, r.Topology, r.Cycles, r.FlitHops, r.Checksum)
+		}
+	}
+	return err
+}
+
+// splitList splits a comma-separated flag value, trimming whitespace and
+// dropping empty entries.
+func splitList(s string) []string {
+	var out []string
+	for _, e := range strings.Split(s, ",") {
+		if e = strings.TrimSpace(e); e != "" {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// emit writes one table encoding to path ("-" = stdout).
+func emit(path string, write func(w io.Writer) error) error {
+	if path == "-" {
+		return write(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // runWorkload executes one workload, optionally exporting a Chrome trace.

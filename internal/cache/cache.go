@@ -87,13 +87,18 @@ func New(cfg Config, backing mem.Block) *Cache {
 	if err := cfg.Valid(); err != nil {
 		panic(err)
 	}
-	sets := make([][]line, cfg.Sets())
+	// One backing array and one way array for the whole cache, subsliced
+	// per set/line: a system builds two caches per tile, and thousands of
+	// tiny line buffers were a measurable slice of sweep allocation.
+	nSets := cfg.Sets()
+	ways := make([]line, nSets*cfg.Ways)
+	data := make([]byte, len(ways)*cfg.LineSize)
+	for w := range ways {
+		ways[w].data = data[w*cfg.LineSize : (w+1)*cfg.LineSize : (w+1)*cfg.LineSize]
+	}
+	sets := make([][]line, nSets)
 	for i := range sets {
-		ways := make([]line, cfg.Ways)
-		for w := range ways {
-			ways[w].data = make([]byte, cfg.LineSize)
-		}
-		sets[i] = ways
+		sets[i] = ways[i*cfg.Ways : (i+1)*cfg.Ways : (i+1)*cfg.Ways]
 	}
 	setShift := uint32(0)
 	for 1<<setShift < cfg.LineSize {

@@ -4,9 +4,11 @@ import (
 	"fmt"
 	"io"
 
+	"pmc/internal/noc"
 	"pmc/internal/rt"
 	"pmc/internal/soc"
 	"pmc/internal/stats"
+	"pmc/internal/sweep"
 	"pmc/internal/workloads"
 )
 
@@ -82,27 +84,21 @@ func runAblationLocks(w io.Writer, o Options) error {
 
 func runAblationRelease(w io.Writer, o Options) error {
 	tiles := o.tiles(8)
-	app := workloads.DefaultReacquire()
-	if !o.full() {
-		app.Iters = 32
+	// makeScaled shrinks Reacquire to the CI iteration count at small scale.
+	table, err := sweep.Run(gridSpec(o, []string{"reacquire"}, []string{"swcc", "swcc-lazy"}, []int{tiles}))
+	if err != nil {
+		return err
 	}
-	var results []*workloads.Result
 	fmt.Fprintf(w, "%-10s %10s %10s %12s %10s\n", "policy", "cycles", "flushes", "writebacks", "checksum")
-	for _, backend := range []string{"swcc", "swcc-lazy"} {
-		a := *app
-		res, err := workloads.Run(&a, sysConfig(tiles), backend)
-		if err != nil {
-			return err
-		}
-		results = append(results, res)
+	for _, r := range table.Rows {
 		fmt.Fprintf(w, "%-10s %10d %10d %12d %#10x\n",
-			backend, res.Cycles, res.Total.FlushInstrs, res.Total.FlushStall, res.Checksum)
+			r.Backend, r.Cycles, r.FlushInstrs, r.FlushStall, r.Checksum)
 	}
-	if results[0].Checksum != results[1].Checksum {
+	if table.Rows[0].Checksum != table.Rows[1].Checksum {
 		return fmt.Errorf("ablation-release: checksums differ — lazy release lost data")
 	}
 	fmt.Fprintf(w, "\nlazy release wins %.1f%% on this re-acquire-heavy pattern: data stays cached\n",
-		stats.Speedup(results[0], results[1]))
+		stats.Speedup(table.Rows[0].Result, table.Rows[1].Result))
 	fmt.Fprintln(w, "across scopes of the same tile and is flushed only on real ownership transfer.")
 	return nil
 }
@@ -112,20 +108,24 @@ func runAblationScaling(w io.Writer, o Options) error {
 	if !o.full() {
 		counts = []int{1, 4, 8}
 	}
+	spec := gridSpec(o, []string{"raytrace"}, []string{"nocc", "swcc"}, counts)
+	spec.Make = func(c sweep.Cell) (workloads.App, error) {
+		// Work grows with the tile count (weak scaling): the per-core
+		// share stays constant while bus contention grows.
+		ray := workloads.DefaultRaytrace()
+		ray.Cells, ray.Rays, ray.StepsPerRay = 48, 16*c.Tiles, 4
+		return ray, nil
+	}
+	table, err := sweep.Run(spec)
+	if err != nil {
+		return err
+	}
 	fmt.Fprintf(w, "%-6s %12s %12s %10s\n", "tiles", "nocc cycles", "swcc cycles", "swcc gain")
 	for _, tiles := range counts {
-		var cyc [2]uint64
-		for i, backend := range []string{"nocc", "swcc"} {
-			ray := workloads.DefaultRaytrace()
-			ray.Cells, ray.Rays, ray.StepsPerRay = 48, 16*tiles, 4
-			res, err := workloads.Run(ray, sysConfig(tiles), backend)
-			if err != nil {
-				return err
-			}
-			cyc[i] = uint64(res.Cycles)
-		}
+		no := table.Find("raytrace", "nocc", tiles, noc.TopoRing)
+		sw := table.Find("raytrace", "swcc", tiles, noc.TopoRing)
 		fmt.Fprintf(w, "%-6d %12d %12d %9.1f%%\n",
-			tiles, cyc[0], cyc[1], 100*(1-float64(cyc[1])/float64(cyc[0])))
+			tiles, no.Cycles, sw.Cycles, 100*(1-float64(sw.Cycles)/float64(no.Cycles)))
 	}
 	fmt.Fprintln(w, "\nuncached shared reads all contend on the single bus, so the noCC penalty")
 	fmt.Fprintln(w, "grows with the core count while SWCC converts them into per-scope line fills.")

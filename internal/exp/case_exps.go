@@ -6,6 +6,7 @@ import (
 
 	"pmc/internal/rt"
 	"pmc/internal/stats"
+	"pmc/internal/sweep"
 	"pmc/internal/workloads"
 )
 
@@ -47,22 +48,23 @@ func init() {
 }
 
 // runMsgPassMatrix runs the annotated message-passing program on every
-// backend and reports delivery. Shared by fig6 and table2.
+// backend (one parallel sweep) and reports delivery. Shared by fig6 and
+// table2.
 func runMsgPassMatrix(w io.Writer, o Options) error {
 	tiles := o.tiles(4)
+	table, err := sweep.Run(gridSpec(o, []string{"msgpass"}, rt.Backends, []int{tiles}))
+	if err != nil {
+		return err
+	}
+	expected := workloads.DefaultMsgPass().Expected()
 	fmt.Fprintf(w, "%-10s %10s %8s %10s %8s\n", "backend", "cycles", "result", "noc msgs", "flushes")
-	for _, backend := range rt.Backends {
-		app := workloads.DefaultMsgPass()
-		res, err := workloads.Run(app, sysConfig(tiles), backend)
-		if err != nil {
-			return err
-		}
+	for _, r := range table.Rows {
 		verdict := "42 ok"
-		if res.Checksum != app.Expected() {
+		if r.Checksum != expected {
 			verdict = "WRONG"
 		}
 		fmt.Fprintf(w, "%-10s %10d %8s %10d %8d\n",
-			backend, res.Cycles, verdict, res.NoCMessages, res.Total.FlushInstrs)
+			r.Backend, r.Cycles, verdict, r.NoCMessages, r.FlushInstrs)
 	}
 	return nil
 }
@@ -102,33 +104,35 @@ func runFig7(w io.Writer, o Options) error {
 
 func runFig8(w io.Writer, o Options) error {
 	tiles := o.tiles(32)
-	apps := fig8Apps(o)
+	table, err := sweep.Run(gridSpec(o, splashApps, []string{"nocc", "swcc"}, []int{tiles}))
+	if err != nil {
+		return err
+	}
 	groups := make(map[string][]*workloads.Result)
 	var order []string
 	var results []*workloads.Result
 	type pair struct{ no, sw *workloads.Result }
 	pairs := make(map[string]pair)
-	for _, app := range apps {
-		order = append(order, app.Name())
-		for _, backend := range []string{"nocc", "swcc"} {
-			res, err := workloads.Run(app, sysConfig(tiles), backend)
-			if err != nil {
-				return err
-			}
-			groups[app.Name()] = append(groups[app.Name()], res)
-			results = append(results, res)
-			p := pairs[app.Name()]
-			if backend == "nocc" {
-				p.no = res
-			} else {
-				p.sw = res
-			}
-			pairs[app.Name()] = p
+	for _, r := range table.Rows {
+		res := r.Result
+		if len(groups[r.App]) == 0 {
+			order = append(order, r.App)
 		}
-		// Checksum agreement between the two runs of one app.
-		rs := groups[app.Name()]
+		groups[r.App] = append(groups[r.App], res)
+		results = append(results, res)
+		p := pairs[r.App]
+		if r.Backend == "nocc" {
+			p.no = res
+		} else {
+			p.sw = res
+		}
+		pairs[r.App] = p
+	}
+	// Checksum agreement between the two runs of each app.
+	for _, name := range order {
+		rs := groups[name]
 		if rs[0].Checksum != rs[1].Checksum {
-			return fmt.Errorf("fig8: %s checksum differs between backends", app.Name())
+			return fmt.Errorf("fig8: %s checksum differs between backends", name)
 		}
 	}
 	stats.RenderFig8(w, groups, order)
@@ -149,30 +153,34 @@ func runFig8(w io.Writer, o Options) error {
 
 func runFig9(w io.Writer, o Options) error {
 	tiles := o.tiles(8)
-	fifo := workloads.DefaultMFifo()
+	proto := workloads.DefaultMFifo()
 	if o.full() {
-		fifo.Items = 256
-		fifo.Readers, fifo.Writers = 3, 3
+		proto.Items = 256
+		proto.Readers, proto.Writers = 3, 3
+	}
+	items := proto.Writers * proto.Items
+	spec := gridSpec(o, []string{"mfifo"}, rt.Backends, []int{tiles})
+	spec.Make = func(sweep.Cell) (workloads.App, error) {
+		f := *proto
+		return &f, nil
+	}
+	table, err := sweep.Run(spec)
+	if err != nil {
+		return err
 	}
 	fmt.Fprintf(w, "%-10s %10s %12s %12s %10s %8s\n",
 		"backend", "cycles", "cycles/item", "noc msgs", "noc bytes", "verified")
-	items := fifo.Writers * fifo.Items
-	for _, backend := range rt.Backends {
-		f := *fifo
-		res, err := workloads.Run(&f, sysConfig(tiles), backend)
-		if err != nil {
-			return err
-		}
+	for _, r := range table.Rows {
 		// The per-reader stream agreement is asserted by the test
 		// suite (TestMFifoDeliversEverywhere); here a zero content
 		// digest would mean no data flowed at all.
 		verified := "yes"
-		if res.Checksum == 0 {
+		if r.Checksum == 0 {
 			verified = "NO DATA"
 		}
 		fmt.Fprintf(w, "%-10s %10d %12.0f %12d %10d %8s\n",
-			backend, res.Cycles, float64(res.Cycles)/float64(items),
-			res.NoCMessages, res.NoCBytes, verified)
+			r.Backend, r.Cycles, float64(r.Cycles)/float64(items),
+			r.NoCMessages, r.NoCBytes, verified)
 	}
 	fmt.Fprintf(w, "\nDSM property: NoC traffic scales with items (%d), not poll iterations —\n", items)
 	fmt.Fprintf(w, "read/write pointers are polled from local memory only (Section VI-B).\n")
@@ -181,28 +189,29 @@ func runFig9(w io.Writer, o Options) error {
 
 func runFig10(w io.Writer, o Options) error {
 	tiles := o.tiles(8)
-	me := workloads.DefaultMotionEst()
+	proto := workloads.DefaultMotionEst()
 	if o.full() {
-		me.BlocksX, me.BlocksY, me.Search = 8, 6, 4
+		proto.BlocksX, proto.BlocksY, proto.Search = 8, 6, 4
 	}
-	var base *workloads.Result
+	spec := gridSpec(o, []string{"motionest"}, []string{"nocc", "swcc", "spm"}, []int{tiles})
+	spec.Make = func(sweep.Cell) (workloads.App, error) {
+		m := *proto
+		return &m, nil
+	}
+	table, err := sweep.Run(spec)
+	if err != nil {
+		return err
+	}
+	base := table.Rows[0].Cycles
 	fmt.Fprintf(w, "%-10s %10s %10s %10s\n", "backend", "cycles", "speedup", "copy%")
-	for _, backend := range []string{"nocc", "swcc", "spm"} {
-		m := *me
-		res, err := workloads.Run(&m, sysConfig(tiles), backend)
-		if err != nil {
-			return err
-		}
-		if base == nil {
-			base = res
-		}
-		tot := float64(res.Total.Total())
+	for _, r := range table.Rows {
+		tot := float64(r.Result.Total.Total())
 		copyPct := 0.0
 		if tot > 0 {
-			copyPct = 100 * float64(res.Total.CopyStall) / tot
+			copyPct = 100 * float64(r.CopyStall) / tot
 		}
 		fmt.Fprintf(w, "%-10s %10d %9.2fx %9.1f%%\n",
-			backend, res.Cycles, float64(base.Cycles)/float64(res.Cycles), copyPct)
+			r.Backend, r.Cycles, float64(base)/float64(r.Cycles), copyPct)
 	}
 	fmt.Fprintln(w, "\nspm > swcc: the SPM copy is paid once per scope while the search re-reads")
 	fmt.Fprintln(w, "the window hundreds of times, and read-only scopes stay concurrent (the SPM")

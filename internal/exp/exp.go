@@ -10,6 +10,7 @@ import (
 	"sort"
 
 	"pmc/internal/soc"
+	"pmc/internal/sweep"
 	"pmc/internal/workloads"
 )
 
@@ -18,8 +19,27 @@ type Options struct {
 	// Tiles is the system size; 0 means the experiment's default (the
 	// paper's 32 for the case studies).
 	Tiles int
-	// Scale is "small" (CI/test-sized) or "full" (paper-sized).
+	// Scale is "small" (CI/test-sized) or "full" (paper-sized; also the
+	// empty string).
 	Scale string
+	// Workers caps concurrent simulations in sweep-backed experiments:
+	// 0 means GOMAXPROCS, 1 is sequential. Results are identical either
+	// way.
+	Workers int
+}
+
+// scaleNames are the accepted Options.Scale values ("" meaning full).
+var scaleNames = []string{"small", "full"}
+
+// validate rejects unknown scale names: "full" used to be the silent
+// fallback for any string, so a typo like "smalll" ran the expensive
+// paper-scale configuration.
+func (o Options) validate() error {
+	switch o.Scale {
+	case "", "small", "full":
+		return nil
+	}
+	return fmt.Errorf("exp: unknown scale %q (valid: %v)", o.Scale, scaleNames)
 }
 
 func (o Options) full() bool { return o.Scale != "small" }
@@ -89,6 +109,9 @@ func header(w io.Writer, e Experiment) {
 
 // RunByID runs one experiment, printing its banner first.
 func RunByID(w io.Writer, id string, o Options) error {
+	if err := o.validate(); err != nil {
+		return err
+	}
 	e, ok := ByID(id)
 	if !ok {
 		return fmt.Errorf("exp: unknown experiment %q (have %v)", id, IDs())
@@ -99,6 +122,9 @@ func RunByID(w io.Writer, id string, o Options) error {
 
 // RunAll runs every experiment in registration order.
 func RunAll(w io.Writer, o Options) error {
+	if err := o.validate(); err != nil {
+		return err
+	}
 	for _, e := range registry {
 		header(w, e)
 		if err := e.Run(w, o); err != nil {
@@ -109,15 +135,30 @@ func RunAll(w io.Writer, o Options) error {
 	return nil
 }
 
-// fig8Apps returns the three SPLASH-2 substitutes at the requested scale.
-func fig8Apps(o Options) []workloads.App {
-	rad := workloads.DefaultRadiosity()
-	ray := workloads.DefaultRaytrace()
-	vol := workloads.DefaultVolrend()
-	if !o.full() {
-		rad.Patches, rad.Rounds, rad.Fanout = 48, 2, 3
-		ray.Cells, ray.Rays, ray.StepsPerRay = 48, 40, 4
-		vol.Bricks, vol.OutTiles, vol.RaysPerTile = 32, 24, 3
+// splashApps are the three SPLASH-2 substitutes of Fig. 8.
+var splashApps = []string{"radiosity", "raytrace", "volrend"}
+
+// makeScaled is the sweep app factory honoring the experiment scale.
+func makeScaled(o Options) func(sweep.Cell) (workloads.App, error) {
+	return func(c sweep.Cell) (workloads.App, error) {
+		app, ok := workloads.Scaled(c.App, !o.full())
+		if !ok {
+			return nil, fmt.Errorf("unknown app %q", c.App)
+		}
+		return app, nil
 	}
-	return []workloads.App{rad, ray, vol}
+}
+
+// gridSpec starts a sweep over the experiment system template. Callers
+// override Make for workloads needing per-cell parameters.
+func gridSpec(o Options, apps, backends []string, tiles []int) sweep.Spec {
+	base := soc.DefaultConfig()
+	return sweep.Spec{
+		Apps:     apps,
+		Backends: backends,
+		Tiles:    tiles,
+		Base:     &base,
+		Make:     makeScaled(o),
+		Workers:  o.Workers,
+	}
 }

@@ -23,6 +23,7 @@ func TestRegistryComplete(t *testing.T) {
 		"ablation-locks", "ablation-release", "ablation-scaling", "ablation-dcache", "ablation-granularity",
 		"ablation-explorer",
 		"ext-stencil", "ext-pc", "ext-scoped-fence", "ext-mesh", "ext-conformance",
+		"sweep-scaling",
 	}
 	for _, id := range want {
 		if _, ok := ByID(id); !ok {
@@ -38,6 +39,38 @@ func TestUnknownExperiment(t *testing.T) {
 	var buf bytes.Buffer
 	if err := RunByID(&buf, "nope", Options{}); err == nil {
 		t.Fatal("unknown id not rejected")
+	}
+}
+
+// TestScaleValidated is the regression test for the silent scale fallback:
+// every string except "small" used to mean full paper scale, so a typo like
+// "smalll" silently ran the expensive configuration.
+func TestScaleValidated(t *testing.T) {
+	var buf bytes.Buffer
+	for _, bad := range []string{"smalll", "SMALL", "tiny", "paper"} {
+		if err := RunByID(&buf, "table1", Options{Scale: bad}); err == nil {
+			t.Errorf("scale %q not rejected by RunByID", bad)
+		} else if !strings.Contains(err.Error(), "small") {
+			t.Errorf("error for %q does not list valid values: %v", bad, err)
+		}
+		if err := RunAll(&buf, Options{Scale: bad}); err == nil {
+			t.Errorf("scale %q not rejected by RunAll", bad)
+		}
+	}
+	for _, good := range []string{"", "small", "full"} {
+		if err := RunByID(&buf, "table1", Options{Scale: good}); err != nil {
+			t.Errorf("valid scale %q rejected: %v", good, err)
+		}
+	}
+}
+
+func TestSweepScalingSmall(t *testing.T) {
+	out := small(t, "sweep-scaling")
+	for _, want := range []string{"radiosity", "raytrace", "volrend", "nocc", "swcc", "dsm", "spm",
+		"mesh", "ring", "flit-hops", "speedup"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("sweep-scaling missing %q in:\n%s", want, out)
+		}
 	}
 }
 

@@ -8,6 +8,7 @@ import (
 	"pmc/internal/litmus"
 	"pmc/internal/noc"
 	"pmc/internal/rt"
+	"pmc/internal/sweep"
 	"pmc/internal/workloads"
 )
 
@@ -44,25 +45,17 @@ func init() {
 
 func runExtStencil(w io.Writer, o Options) error {
 	tiles := o.tiles(8)
-	st := workloads.DefaultStencil()
-	if !o.full() {
-		st.Iters = 4
+	table, err := sweep.Run(gridSpec(o, []string{"stencil"}, rt.Backends, []int{tiles}))
+	if err != nil {
+		return err
 	}
 	fmt.Fprintf(w, "%-10s %10s %10s %12s\n", "backend", "cycles", "checksum", "noc msgs")
-	var want uint32
-	first := true
-	for _, backend := range rt.Backends {
-		s := *st
-		res, err := workloads.Run(&s, sysConfig(tiles), backend)
-		if err != nil {
-			return err
+	want := table.Rows[0].Checksum
+	for _, r := range table.Rows {
+		if r.Checksum != want {
+			return fmt.Errorf("ext-stencil: %s checksum %#x != %#x", r.Backend, r.Checksum, want)
 		}
-		if first {
-			want, first = res.Checksum, false
-		} else if res.Checksum != want {
-			return fmt.Errorf("ext-stencil: %s checksum %#x != %#x", backend, res.Checksum, want)
-		}
-		fmt.Fprintf(w, "%-10s %10d %#10x %12d\n", backend, res.Cycles, res.Checksum, res.NoCMessages)
+		fmt.Fprintf(w, "%-10s %10d %#10x %12d\n", r.Backend, r.Cycles, r.Checksum, r.NoCMessages)
 	}
 	fmt.Fprintln(w, "\nthe barrier is ordinary annotated code (entry_x counter, flushed sense word,")
 	fmt.Fprintln(w, "entry_ro polling), so the same bulk-synchronous program runs on all backends")
@@ -132,28 +125,30 @@ func runExtPC(w io.Writer, o Options) error {
 
 func runExtMesh(w io.Writer, o Options) error {
 	tiles := o.tiles(32)
-	fifo := workloads.DefaultMFifo()
+	proto := workloads.DefaultMFifo()
 	roles := 3
 	if tiles/2 < roles {
 		roles = tiles / 2
 	}
-	fifo.Readers, fifo.Writers = roles, roles
+	proto.Readers, proto.Writers = roles, roles
 	if o.full() {
-		fifo.Items = 128
+		proto.Items = 128
 	} else {
-		fifo.Items = 24
+		proto.Items = 24
+	}
+	spec := gridSpec(o, []string{"mfifo"}, []string{"dsm"}, []int{tiles})
+	spec.Topos = []noc.Topology{noc.TopoRing, noc.TopoMesh}
+	spec.Make = func(sweep.Cell) (workloads.App, error) {
+		f := *proto
+		return &f, nil
+	}
+	table, err := sweep.Run(spec)
+	if err != nil {
+		return err
 	}
 	fmt.Fprintf(w, "mfifo on dsm, %d tiles:\n%-8s %10s %12s %12s\n", tiles, "topology", "cycles", "noc msgs", "flit-hops")
-	for _, topo := range []noc.Topology{noc.TopoRing, noc.TopoMesh} {
-		cfg := sysConfig(tiles)
-		cfg.NoC.Topology = topo
-		f := *fifo
-		res, err := workloads.Run(&f, cfg, "dsm")
-		if err != nil {
-			return err
-		}
-		_ = res
-		fmt.Fprintf(w, "%-8s %10d %12d %12d\n", topo, res.Cycles, res.NoCMessages, res.FlitHops)
+	for _, r := range table.Rows {
+		fmt.Fprintf(w, "%-8s %10d %12d %12d\n", r.Topology, r.Cycles, r.NoCMessages, r.FlitHops)
 	}
 	fmt.Fprintln(w, "\nthe mesh halves the worst-case hop count at 32 tiles, which shortens DSM")
 	fmt.Fprintln(w, "flush broadcasts and lock handoffs; the PMC annotations are untouched.")

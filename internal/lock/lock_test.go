@@ -15,7 +15,10 @@ func rig(tiles int) (*sim.Kernel, *noc.Network, *Distributed) {
 	for i := range locals {
 		locals[i] = mem.NewLocal(i, 0, 4096)
 	}
-	net := noc.New(k, noc.Config{Tiles: tiles, HopLat: 2, FlitSize: 4, InjLat: 2}, locals)
+	net, err := noc.New(k, noc.Config{Tiles: tiles, HopLat: 2, FlitSize: 4, InjLat: 2}, locals)
+	if err != nil {
+		panic(err)
+	}
 	return k, net, NewDistributed(k, net)
 }
 

@@ -19,65 +19,145 @@ import (
 // Addr is a simulated physical address.
 type Addr uint32
 
-// RAM is a flat byte-addressable backing store covering
-// [Base, Base+len(data)). The zero value is unusable; use NewRAM.
+// RAM chunk geometry: backing memory materializes in 16 KiB chunks on
+// first write. A simulated system declares tens of megabytes of SDRAM (and
+// 64 KiB locals per tile) but a run touches a small fraction; lazy chunks
+// avoid zeroing (and GC'ing) the untouched remainder, which dominated
+// system-construction cost in batched sweeps.
+const (
+	chunkBits = 14
+	chunkSize = 1 << chunkBits
+	chunkMask = chunkSize - 1
+)
+
+// RAM is a byte-addressable backing store covering [Base, Base+Size).
+// Never-written bytes read as zero, exactly as an eagerly zeroed array
+// would. The zero value is unusable; use NewRAM.
 type RAM struct {
-	base Addr
-	data []byte
+	base   Addr
+	size   int
+	chunks [][]byte
 }
 
 // NewRAM returns a RAM of the given size starting at base.
 func NewRAM(base Addr, size int) *RAM {
-	return &RAM{base: base, data: make([]byte, size)}
+	return &RAM{base: base, size: size, chunks: make([][]byte, (size+chunkSize-1)>>chunkBits)}
 }
 
 // Base returns the first address covered.
 func (r *RAM) Base() Addr { return r.base }
 
 // Size returns the number of bytes covered.
-func (r *RAM) Size() int { return len(r.data) }
+func (r *RAM) Size() int { return r.size }
 
 // Contains reports whether [addr, addr+n) lies inside the RAM.
 func (r *RAM) Contains(addr Addr, n int) bool {
 	off := int64(addr) - int64(r.base)
-	return off >= 0 && off+int64(n) <= int64(len(r.data))
+	return off >= 0 && off+int64(n) <= int64(r.size)
 }
 
 func (r *RAM) index(addr Addr, n int) int {
 	if !r.Contains(addr, n) {
-		panic(fmt.Sprintf("mem: access [%#x,+%d) outside RAM [%#x,+%d)", addr, n, r.base, len(r.data)))
+		panic(fmt.Sprintf("mem: access [%#x,+%d) outside RAM [%#x,+%d)", addr, n, r.base, r.size))
 	}
 	return int(addr - r.base)
 }
 
+// writable returns the chunk backing offset off, materializing it on first
+// write.
+func (r *RAM) writable(off int) []byte {
+	ci := off >> chunkBits
+	c := r.chunks[ci]
+	if c == nil {
+		c = make([]byte, chunkSize)
+		r.chunks[ci] = c
+	}
+	return c
+}
+
 // Read8 returns the byte at addr.
-func (r *RAM) Read8(addr Addr) uint8 { return r.data[r.index(addr, 1)] }
+func (r *RAM) Read8(addr Addr) uint8 {
+	off := r.index(addr, 1)
+	c := r.chunks[off>>chunkBits]
+	if c == nil {
+		return 0
+	}
+	return c[off&chunkMask]
+}
 
 // Write8 stores a byte at addr.
-func (r *RAM) Write8(addr Addr, v uint8) { r.data[r.index(addr, 1)] = v }
+func (r *RAM) Write8(addr Addr, v uint8) {
+	off := r.index(addr, 1)
+	r.writable(off)[off&chunkMask] = v
+}
 
 // Read32 returns the little-endian word at addr.
 func (r *RAM) Read32(addr Addr) uint32 {
-	i := r.index(addr, 4)
-	return binary.LittleEndian.Uint32(r.data[i:])
+	off := r.index(addr, 4)
+	if co := off & chunkMask; co <= chunkSize-4 {
+		c := r.chunks[off>>chunkBits]
+		if c == nil {
+			return 0
+		}
+		return binary.LittleEndian.Uint32(c[co:])
+	}
+	var b [4]byte
+	r.read(off, b[:])
+	return binary.LittleEndian.Uint32(b[:])
 }
 
 // Write32 stores a little-endian word at addr.
 func (r *RAM) Write32(addr Addr, v uint32) {
-	i := r.index(addr, 4)
-	binary.LittleEndian.PutUint32(r.data[i:], v)
+	off := r.index(addr, 4)
+	if co := off & chunkMask; co <= chunkSize-4 {
+		binary.LittleEndian.PutUint32(r.writable(off)[co:], v)
+		return
+	}
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], v)
+	r.write(off, b[:])
+}
+
+// read copies from offset off into dst, crossing chunks as needed.
+func (r *RAM) read(off int, dst []byte) {
+	for len(dst) > 0 {
+		co := off & chunkMask
+		n := chunkSize - co
+		if n > len(dst) {
+			n = len(dst)
+		}
+		if c := r.chunks[off>>chunkBits]; c != nil {
+			copy(dst[:n], c[co:])
+		} else {
+			clear(dst[:n])
+		}
+		off += n
+		dst = dst[n:]
+	}
+}
+
+// write copies src to offset off, crossing chunks as needed.
+func (r *RAM) write(off int, src []byte) {
+	for len(src) > 0 {
+		co := off & chunkMask
+		n := chunkSize - co
+		if n > len(src) {
+			n = len(src)
+		}
+		copy(r.writable(off)[co:co+n], src[:n])
+		off += n
+		src = src[n:]
+	}
 }
 
 // ReadBlock copies len(dst) bytes starting at addr into dst.
 func (r *RAM) ReadBlock(addr Addr, dst []byte) {
-	i := r.index(addr, len(dst))
-	copy(dst, r.data[i:i+len(dst)])
+	r.read(r.index(addr, len(dst)), dst)
 }
 
 // WriteBlock copies src into the RAM starting at addr.
 func (r *RAM) WriteBlock(addr Addr, src []byte) {
-	i := r.index(addr, len(src))
-	copy(r.data[i:i+len(src)], src)
+	r.write(r.index(addr, len(src)), src)
 }
 
 // Block is an interface for data-level line/block movement, implemented by

@@ -36,6 +36,59 @@ func TestRAMBlockOps(t *testing.T) {
 	}
 }
 
+// TestRAMLazyZeroReads: never-written memory reads as zero through every
+// access width, without materializing chunks.
+func TestRAMLazyZeroReads(t *testing.T) {
+	r := NewRAM(0, 4*chunkSize)
+	if got := r.Read8(chunkSize + 7); got != 0 {
+		t.Fatalf("untouched Read8 = %#x, want 0", got)
+	}
+	if got := r.Read32(2 * chunkSize); got != 0 {
+		t.Fatalf("untouched Read32 = %#x, want 0", got)
+	}
+	dst := []byte{9, 9, 9, 9}
+	r.ReadBlock(3*chunkSize-2, dst) // straddles a chunk boundary
+	for i, b := range dst {
+		if b != 0 {
+			t.Fatalf("untouched ReadBlock byte %d = %#x, want 0", i, b)
+		}
+	}
+	for i, c := range r.chunks {
+		if c != nil {
+			t.Fatalf("read materialized chunk %d", i)
+		}
+	}
+}
+
+// TestRAMChunkBoundary exercises word and block accesses that straddle the
+// lazy-chunk boundary, against partially materialized neighbors.
+func TestRAMChunkBoundary(t *testing.T) {
+	r := NewRAM(0, 2*chunkSize)
+	// Word write/read straddling the boundary.
+	at := Addr(chunkSize - 2)
+	r.Write32(at, 0x11223344)
+	if got := r.Read32(at); got != 0x11223344 {
+		t.Fatalf("straddling Read32 = %#x, want 0x11223344", got)
+	}
+	// Block crossing the boundary with one side untouched.
+	r2 := NewRAM(0, 2*chunkSize)
+	r2.Write8(chunkSize-1, 0xaa) // materialize only the first chunk
+	dst := make([]byte, 4)
+	r2.ReadBlock(chunkSize-2, dst)
+	if dst[0] != 0 || dst[1] != 0xaa || dst[2] != 0 || dst[3] != 0 {
+		t.Fatalf("boundary ReadBlock = %v, want [0 aa 0 0]", dst)
+	}
+	src := []byte{1, 2, 3, 4, 5, 6}
+	r2.WriteBlock(chunkSize-3, src)
+	got := make([]byte, 6)
+	r2.ReadBlock(chunkSize-3, got)
+	for i := range src {
+		if got[i] != src[i] {
+			t.Fatalf("boundary block round-trip = %v, want %v", got, src)
+		}
+	}
+}
+
 func TestRAMOutOfBoundsPanics(t *testing.T) {
 	r := NewRAM(0x100, 16)
 	for _, f := range []func(){

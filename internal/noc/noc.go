@@ -37,6 +37,17 @@ func (t Topology) String() string {
 	return "ring"
 }
 
+// ParseTopology converts a topology name ("ring" or "mesh") to a Topology.
+func ParseTopology(s string) (Topology, error) {
+	switch s {
+	case "ring":
+		return TopoRing, nil
+	case "mesh":
+		return TopoMesh, nil
+	}
+	return 0, fmt.Errorf("noc: unknown topology %q (valid: ring, mesh)", s)
+}
+
 // Config sets the network's size and timing.
 type Config struct {
 	Tiles    int      // number of tiles
@@ -49,6 +60,44 @@ type Config struct {
 // DefaultConfig matches the 32-tile system of the paper.
 func DefaultConfig() Config {
 	return Config{Tiles: 32, HopLat: 2, FlitSize: 4, InjLat: 2}
+}
+
+// Bounds on a sane configuration: lastArrival is Tiles² entries, and the
+// latency arithmetic must stay far from wrapping sim.Time.
+const (
+	maxTiles = 4096
+	maxLat   = sim.Time(1) << 32
+)
+
+// WithDefaults fills unset fields: a zero FlitSize becomes the default
+// flit width (hand-built configs routinely skip it, and a zero value would
+// otherwise divide by zero in the latency model).
+func (c Config) WithDefaults() Config {
+	if c.FlitSize == 0 {
+		c.FlitSize = DefaultConfig().FlitSize
+	}
+	return c
+}
+
+// Validate reports configuration errors. Apply WithDefaults first if zero
+// fields should be filled rather than rejected.
+func (c Config) Validate() error {
+	if c.Tiles <= 0 {
+		return fmt.Errorf("noc: %d tiles", c.Tiles)
+	}
+	if c.Tiles > maxTiles {
+		return fmt.Errorf("noc: %d tiles exceeds the supported maximum %d", c.Tiles, maxTiles)
+	}
+	if c.FlitSize <= 0 {
+		return fmt.Errorf("noc: flit size %d must be positive", c.FlitSize)
+	}
+	if c.HopLat > maxLat {
+		return fmt.Errorf("noc: hop latency %d unreasonably large", c.HopLat)
+	}
+	if c.InjLat > maxLat {
+		return fmt.Errorf("noc: injection latency %d unreasonably large", c.InjLat)
+	}
+	return nil
 }
 
 // Stats counts network activity.
@@ -75,13 +124,15 @@ type Network struct {
 }
 
 // New returns a network over the given per-tile local memories. locals[i]
-// is tile i's memory; len(locals) must equal cfg.Tiles.
-func New(k *sim.Kernel, cfg Config, locals []*mem.Local) *Network {
-	if len(locals) != cfg.Tiles {
-		panic(fmt.Sprintf("noc: %d locals for %d tiles", len(locals), cfg.Tiles))
+// is tile i's memory; len(locals) must equal cfg.Tiles. A zero FlitSize is
+// defaulted (WithDefaults); other invalid fields are rejected (Validate).
+func New(k *sim.Kernel, cfg Config, locals []*mem.Local) (*Network, error) {
+	cfg = cfg.WithDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
 	}
-	if cfg.FlitSize <= 0 || cfg.Tiles <= 0 {
-		panic("noc: bad config")
+	if len(locals) != cfg.Tiles {
+		return nil, fmt.Errorf("noc: %d locals for %d tiles", len(locals), cfg.Tiles)
 	}
 	n := &Network{
 		k:           k,
@@ -95,7 +146,7 @@ func New(k *sim.Kernel, cfg Config, locals []*mem.Local) *Network {
 			n.meshW++
 		}
 	}
-	return n
+	return n, nil
 }
 
 // Config returns the network configuration.

@@ -14,7 +14,10 @@ func build(tiles int) (*sim.Kernel, *Network, []*mem.Local) {
 	for i := range locals {
 		locals[i] = mem.NewLocal(i, 0, 4096)
 	}
-	n := New(k, Config{Tiles: tiles, HopLat: 2, FlitSize: 4, InjLat: 2}, locals)
+	n, err := New(k, Config{Tiles: tiles, HopLat: 2, FlitSize: 4, InjLat: 2}, locals)
+	if err != nil {
+		panic(err)
+	}
 	return k, n, locals
 }
 
@@ -201,7 +204,10 @@ func TestHopsMesh(t *testing.T) {
 	for i := range locals {
 		locals[i] = mem.NewLocal(i, 0, 1024)
 	}
-	n := New(k, Config{Tiles: 16, HopLat: 2, FlitSize: 4, InjLat: 2, Topology: TopoMesh}, locals)
+	n, err := New(k, Config{Tiles: 16, HopLat: 2, FlitSize: 4, InjLat: 2, Topology: TopoMesh}, locals)
+	if err != nil {
+		t.Fatal(err)
+	}
 	cases := []struct{ a, b, want int }{
 		{0, 0, 0},  // same tile
 		{0, 3, 3},  // same row
@@ -216,6 +222,76 @@ func TestHopsMesh(t *testing.T) {
 	}
 }
 
+// TestZeroFlitSizeDefaults is the regression test for the division-by-zero
+// panic: a hand-built Config that skips DefaultConfig leaves FlitSize at 0,
+// which used to panic inside latency at (size+FlitSize-1)/FlitSize.
+func TestZeroFlitSizeDefaults(t *testing.T) {
+	k := sim.New()
+	locals := make([]*mem.Local, 2)
+	for i := range locals {
+		locals[i] = mem.NewLocal(i, 0, 1024)
+	}
+	n, err := New(k, Config{Tiles: 2, HopLat: 1, InjLat: 1}, locals) // FlitSize omitted
+	if err != nil {
+		t.Fatalf("zero FlitSize must be defaulted, got error: %v", err)
+	}
+	if got, want := n.Config().FlitSize, DefaultConfig().FlitSize; got != want {
+		t.Fatalf("FlitSize defaulted to %d, want %d", got, want)
+	}
+	k.Spawn("src", func(p *sim.Proc) {
+		n.PostWrite32(0, 1, 0, 7) // would have panicked before the fix
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if locals[1].Read32(0) != 7 {
+		t.Fatal("write not delivered")
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	valid := Config{Tiles: 4, HopLat: 2, FlitSize: 4, InjLat: 2}
+	if err := valid.Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	bad := []Config{
+		{Tiles: 0, FlitSize: 4},
+		{Tiles: -3, FlitSize: 4},
+		{Tiles: maxTiles + 1, FlitSize: 4},
+		{Tiles: 4, FlitSize: 0},
+		{Tiles: 4, FlitSize: -1},
+		{Tiles: 4, FlitSize: 4, HopLat: maxLat + 1},
+		{Tiles: 4, FlitSize: 4, InjLat: maxLat + 1},
+	}
+	for _, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("Validate accepted bad config %+v", c)
+		}
+	}
+}
+
+func TestNewRejectsBadConfig(t *testing.T) {
+	k := sim.New()
+	if _, err := New(k, Config{Tiles: 2, FlitSize: -1}, make([]*mem.Local, 2)); err == nil {
+		t.Error("negative FlitSize accepted")
+	}
+	if _, err := New(k, Config{Tiles: 3, FlitSize: 4}, make([]*mem.Local, 2)); err == nil {
+		t.Error("locals/tiles mismatch accepted")
+	}
+}
+
+func TestParseTopology(t *testing.T) {
+	if topo, err := ParseTopology("ring"); err != nil || topo != TopoRing {
+		t.Errorf("ParseTopology(ring) = %v, %v", topo, err)
+	}
+	if topo, err := ParseTopology("mesh"); err != nil || topo != TopoMesh {
+		t.Errorf("ParseTopology(mesh) = %v, %v", topo, err)
+	}
+	if _, err := ParseTopology("torus"); err == nil {
+		t.Error("unknown topology accepted")
+	}
+}
+
 func TestMeshShortensWorstCase(t *testing.T) {
 	build32 := func(topo Topology) *Network {
 		k := sim.New()
@@ -225,7 +301,11 @@ func TestMeshShortensWorstCase(t *testing.T) {
 		}
 		cfg := DefaultConfig()
 		cfg.Topology = topo
-		return New(k, cfg, locals)
+		n, err := New(k, cfg, locals)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return n
 	}
 	ring, mesh := build32(TopoRing), build32(TopoMesh)
 	worst := func(n *Network) int {

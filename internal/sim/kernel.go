@@ -2,13 +2,16 @@
 //
 // The kernel models simulated time in integer cycles. Simulation activity is
 // expressed either as scheduled events (closures that run at a given cycle)
-// or as processes: goroutines that interleave with the kernel through a
-// strict one-token handshake, so that exactly one goroutine — the kernel or
-// a single process — runs at any moment. Because events are dispatched in
-// (time, sequence) order and processes only advance when resumed by the
-// kernel, a simulation is fully deterministic: the same program produces the
-// same event order, the same final state and the same cycle counts on every
-// run, regardless of GOMAXPROCS.
+// or as processes: coroutines (iter.Pull) that interleave with the kernel
+// through a strict one-token handshake, so that exactly one execution
+// context — the kernel or a single process — runs at any moment. Because
+// events are dispatched in (time, sequence) order and processes only advance
+// when resumed by the kernel, a simulation is fully deterministic: the same
+// program produces the same event order, the same final state and the same
+// cycle counts on every run, regardless of GOMAXPROCS. The coroutine
+// handshake never touches the Go scheduler, so independent simulations in
+// one address space scale across cores instead of thrashing each other with
+// cross-P wakeups.
 //
 // The kernel is the substrate for the SoC model in internal/soc; it knows
 // nothing about memories, caches or networks.
@@ -62,14 +65,16 @@ type Kernel struct {
 	events eventHeap
 	seq    uint64
 
-	// yield is the single token returned to the kernel whenever the
-	// currently-running process suspends or terminates.
-	yield chan struct{}
-
 	procs   []*Proc
 	live    int // processes that have not finished
 	parked  int // processes blocked in Park
 	stopped bool
+
+	// free recycles dispatched event structs: a simulation schedules one
+	// event per process wait, and recycling keeps that hot path from
+	// feeding the garbage collector (GC pacing, not CPU, was the scaling
+	// limit for concurrent simulations).
+	free []*event
 
 	// MaxTime aborts the run when simulated time would pass it (a
 	// watchdog against livelock in modelled software). Zero means no
@@ -79,7 +84,7 @@ type Kernel struct {
 
 // New returns a ready-to-run kernel.
 func New() *Kernel {
-	return &Kernel{yield: make(chan struct{})}
+	return &Kernel{}
 }
 
 // Now returns the current simulated time.
@@ -97,10 +102,18 @@ func (k *Kernel) ScheduleAt(t Time, fn func()) {
 		panic(fmt.Sprintf("sim: ScheduleAt(%d) in the past (now %d)", t, k.now))
 	}
 	k.seq++
-	heap.Push(&k.events, &event{at: t, seq: k.seq, fn: fn})
+	var e *event
+	if n := len(k.free); n > 0 {
+		e = k.free[n-1]
+		k.free = k.free[:n-1]
+		e.at, e.seq, e.fn = t, k.seq, fn
+	} else {
+		e = &event{at: t, seq: k.seq, fn: fn}
+	}
+	heap.Push(&k.events, e)
 }
 
-// Spawn creates a process running body in its own goroutine. The process
+// Spawn creates a process running body in its own coroutine. The process
 // starts at the current simulated time, after already-pending events for
 // this cycle. Spawn may be called before Run or from inside a running
 // process or event.
@@ -109,8 +122,8 @@ func (k *Kernel) Spawn(name string, body func(*Proc)) *Proc {
 		k:    k,
 		id:   len(k.procs),
 		name: name,
-		wake: make(chan struct{}),
 	}
+	p.resumeFn = func() { k.resume(p) }
 	k.procs = append(k.procs, p)
 	k.live++
 	k.ScheduleAt(k.now, func() { p.start(body) })
@@ -130,7 +143,10 @@ func (k *Kernel) Run() error {
 			return fmt.Errorf("sim: watchdog: time %d exceeds MaxTime %d", e.at, k.MaxTime)
 		}
 		k.now = e.at
-		e.fn()
+		fn := e.fn
+		e.fn = nil
+		k.free = append(k.free, e)
+		fn()
 	}
 	if !k.stopped && k.live > 0 {
 		return fmt.Errorf("sim: deadlock at cycle %d: %d process(es) still blocked: %s",
@@ -161,9 +177,13 @@ func (k *Kernel) blockedNames() string {
 	return s
 }
 
-// resume hands the run token to p and blocks until p yields it back.
-// It must only be called from the kernel goroutine (inside an event).
+// resume hands the run token to p and returns when p yields it back: a
+// direct coroutine switch, no scheduler round-trip. It must only be called
+// from the kernel's own goroutine (inside an event). When the process body
+// returns, the coroutine is exhausted and the process is retired.
 func (k *Kernel) resume(p *Proc) {
-	p.wake <- struct{}{}
-	<-k.yield
+	if _, ok := p.next(); !ok && !p.done {
+		p.done = true
+		k.live--
+	}
 }

@@ -131,6 +131,51 @@ func TestWatchdog(t *testing.T) {
 	}
 }
 
+// TestMaxTimeBoundary is the MaxTime mirror of PR 1's MaxStates off-by-one
+// regression test: a run whose last event lands exactly at MaxTime must
+// complete successfully; only events strictly past the budget abort.
+func TestMaxTimeBoundary(t *testing.T) {
+	k := New()
+	k.MaxTime = 100
+	ran := false
+	k.ScheduleAt(100, func() { ran = true })
+	if err := k.Run(); err != nil {
+		t.Fatalf("event at exactly MaxTime must complete, got: %v", err)
+	}
+	if !ran {
+		t.Fatal("event at MaxTime did not run")
+	}
+	if k.Now() != 100 {
+		t.Fatalf("final time %d, want 100", k.Now())
+	}
+
+	k = New()
+	k.MaxTime = 100
+	k.ScheduleAt(101, func() { t.Error("event past MaxTime must not run") })
+	if err := k.Run(); err == nil || !strings.Contains(err.Error(), "watchdog") {
+		t.Fatalf("err = %v, want watchdog for event past MaxTime", err)
+	}
+}
+
+// TestMaxTimeBoundaryProcess exercises the boundary through a process whose
+// final wait lands exactly on the budget.
+func TestMaxTimeBoundaryProcess(t *testing.T) {
+	k := New()
+	k.MaxTime = 50
+	done := false
+	k.Spawn("edge", func(p *Proc) {
+		p.Wait(25)
+		p.Wait(25) // finishes exactly at MaxTime
+		done = true
+	})
+	if err := k.Run(); err != nil {
+		t.Fatalf("process finishing at MaxTime must complete, got: %v", err)
+	}
+	if !done || k.Now() != 50 {
+		t.Fatalf("done=%v now=%d, want true,50", done, k.Now())
+	}
+}
+
 func TestStop(t *testing.T) {
 	k := New()
 	n := 0

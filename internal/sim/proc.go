@@ -1,17 +1,36 @@
 package sim
 
-import "fmt"
+import (
+	"fmt"
+	"iter"
+)
 
-// Proc is a simulation process: a goroutine that advances simulated time by
+// Proc is a simulation process: a coroutine that advances simulated time by
 // calling Wait and friends and otherwise runs instantaneously in simulated
-// time. All Proc methods must be called from the process's own goroutine
+// time. All Proc methods must be called from the process's own coroutine
 // (inside the body passed to Spawn); Unpark is the one exception and may be
 // called from anywhere inside the simulation.
+//
+// The one-token handshake with the kernel rides on iter.Pull coroutines
+// rather than channel ping-pong: a coroutine switch transfers control
+// directly without waking the Go scheduler, so a suspend/resume pair costs
+// a function call instead of two futex-mediated goroutine wakeups — and,
+// critically for parallel sweeps, concurrently running simulations stop
+// migrating across Ps on every handoff. A panic inside a process body
+// propagates out of Kernel.Run on the caller's goroutine, where batch
+// engines can contain it.
 type Proc struct {
 	k    *Kernel
 	id   int
 	name string
-	wake chan struct{}
+
+	// next resumes the coroutine until its next yield (kernel side);
+	// yield hands the token back to the kernel (process side).
+	next  func() (struct{}, bool)
+	yield func(struct{}) bool
+	// resumeFn is the proc's reusable wake-up event body (one closure per
+	// process instead of one per wait).
+	resumeFn func()
 
 	done   bool
 	parked bool
@@ -35,25 +54,17 @@ func (p *Proc) Now() Time { return p.k.now }
 // start runs the body with the handshake protocol. Called by the kernel in
 // an event context.
 func (p *Proc) start(body func(*Proc)) {
-	go func() {
-		defer func() {
-			p.done = true
-			p.k.live--
-			// Return the token: the kernel is blocked in resume.
-			p.k.yield <- struct{}{}
-		}()
-		// Wait for the kernel to hand us the token the first time.
-		<-p.wake
+	p.next, _ = iter.Pull(func(yield func(struct{}) bool) {
+		p.yield = yield
 		body(p)
-	}()
+	})
 	p.k.resume(p)
 }
 
 // suspend schedules nothing; it just gives the token back and blocks until
 // the kernel resumes this process.
 func (p *Proc) suspend() {
-	p.k.yield <- struct{}{}
-	<-p.wake
+	p.yield(struct{}{})
 }
 
 // Wait advances this process's view of time by d cycles. Wait(0) yields the
@@ -67,10 +78,24 @@ func (p *Proc) WaitUntil(t Time) {
 	if p.done {
 		panic("sim: WaitUntil on finished proc")
 	}
-	if t < p.k.now {
-		panic(fmt.Sprintf("sim: proc %q WaitUntil(%d) in the past (now %d)", p.name, t, p.k.now))
+	k := p.k
+	if t < k.now {
+		panic(fmt.Sprintf("sim: proc %q WaitUntil(%d) in the past (now %d)", p.name, t, k.now))
 	}
-	p.k.ScheduleAt(t, func() { p.k.resume(p) })
+	// Fast path: if no other event is due at or before t, the watchdog
+	// cannot fire, and the kernel is not stopping, the token round-trip
+	// through the kernel would deterministically hand control straight
+	// back to this process with now == t — so advance time in place and
+	// skip the two channel handoffs (and their goroutine switches). This
+	// is exact, not approximate: no other goroutine can observe the
+	// skipped window, because nothing is scheduled inside it.
+	if !k.stopped &&
+		(k.MaxTime == 0 || t <= k.MaxTime) &&
+		(len(k.events) == 0 || k.events[0].at > t) {
+		k.now = t
+		return
+	}
+	k.ScheduleAt(t, p.resumeFn)
 	p.suspend()
 }
 
@@ -99,7 +124,7 @@ func (p *Proc) Unpark(hint any) {
 	p.parked = false
 	p.k.parked--
 	p.unparkHint = hint
-	p.k.ScheduleAt(p.k.now, func() { p.k.resume(p) })
+	p.k.ScheduleAt(p.k.now, p.resumeFn)
 }
 
 // IsParked reports whether the process is currently blocked in Park.

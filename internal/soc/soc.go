@@ -135,7 +135,11 @@ func New(cfg Config) (*System, error) {
 	}
 	nocCfg := cfg.NoC
 	nocCfg.Tiles = cfg.Tiles
-	s.Net = noc.New(k, nocCfg, s.Locals)
+	net, err := noc.New(k, nocCfg, s.Locals)
+	if err != nil {
+		return nil, err
+	}
+	s.Net = net
 	switch cfg.Locks {
 	case LockCentralized:
 		// The lock table sits at the top of SDRAM, away from data.

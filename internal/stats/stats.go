@@ -92,12 +92,19 @@ func RenderFig8(w io.Writer, groups map[string][]*workloads.Result, order []stri
 }
 
 func bar(b Breakdown) string {
+	// Round cumulatively, not per category: each segment ends at the
+	// rounded cumulative height, so the total bar length always equals
+	// round(Norm*50) instead of drifting by up to one char per category.
 	var sb strings.Builder
+	cum := 0.0
+	emitted := 0
 	for i, f := range b.Frac {
-		n := int(f*b.Norm*50 + 0.5) // 50 chars = 100 % of the reference bar
+		cum += f
+		n := int(cum*b.Norm*50+0.5) - emitted // 50 chars = 100 % of the reference bar
 		for j := 0; j < n; j++ {
 			sb.WriteByte(barGlyphs[i])
 		}
+		emitted += n
 	}
 	return sb.String()
 }

@@ -81,6 +81,80 @@ func TestRenderFig8(t *testing.T) {
 	}
 }
 
+// TestBarCumulativeRounding is the regression test for the rounding drift:
+// rounding each category independently let the rendered bar length differ
+// from round(Norm*50) by up to one char per category (6 worst case). The
+// cumulative scheme pins the total exactly.
+func TestBarCumulativeRounding(t *testing.T) {
+	cases := []struct {
+		name string
+		frac [6]float64
+		norm float64
+	}{
+		// Six equal sixths: independent rounding gives int(50/6+0.5)=8
+		// per category = 48 chars; the true total is 50.
+		{"equal-sixths", [6]float64{1. / 6, 1. / 6, 1. / 6, 1. / 6, 1. / 6, 1. / 6}, 1},
+		// All categories just below the .5 rounding threshold: independent
+		// rounding truncates every one of them.
+		{"all-just-under", [6]float64{0.169, 0.169, 0.169, 0.169, 0.169, 0.155}, 1},
+		// All just above the threshold: independent rounding inflates all.
+		{"all-just-over", [6]float64{0.171, 0.171, 0.171, 0.171, 0.171, 0.145}, 1},
+		// Scaled bars drift too.
+		{"scaled", [6]float64{0.3, 0.3, 0.1, 0.1, 0.1, 0.1}, 0.73},
+		{"tiny-tail", [6]float64{0.97, 0.006, 0.006, 0.006, 0.006, 0.006}, 1},
+		{"zero-heavy", [6]float64{0.5, 0, 0, 0, 0, 0.5}, 0.41},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			b := Breakdown{Frac: tc.frac, Norm: tc.norm}
+			got := len(bar(b))
+			var sum float64
+			for _, f := range tc.frac {
+				sum += f
+			}
+			want := int(sum*tc.norm*50 + 0.5)
+			if got != want {
+				t.Fatalf("bar length %d, want round(%.3f*%.2f*50) = %d", got, sum, tc.norm, want)
+			}
+		})
+	}
+}
+
+// Property-style sweep over adversarial fraction vectors: the total length
+// must always equal the rounded normalized height, and per-segment lengths
+// must never be negative.
+func TestBarLengthInvariant(t *testing.T) {
+	rng := uint32(0x9e3779b9)
+	next := func() float64 {
+		rng ^= rng << 13
+		rng ^= rng >> 17
+		rng ^= rng << 5
+		return float64(rng%1000) / 1000
+	}
+	for trial := 0; trial < 500; trial++ {
+		var raw [6]float64
+		var sum float64
+		for i := range raw {
+			raw[i] = next()
+			sum += raw[i]
+		}
+		if sum == 0 {
+			continue
+		}
+		var frac [6]float64
+		var cum float64
+		for i := range raw {
+			frac[i] = raw[i] / sum
+			cum += frac[i] // same accumulation order as bar()
+		}
+		norm := 0.05 + 2*next()
+		b := Breakdown{Frac: frac, Norm: norm}
+		if got, want := len(bar(b)), int(cum*norm*50+0.5); got != want {
+			t.Fatalf("trial %d: bar length %d, want %d (frac=%v norm=%f)", trial, got, want, frac, norm)
+		}
+	}
+}
+
 func TestRenderExtended(t *testing.T) {
 	var buf bytes.Buffer
 	RenderExtended(&buf, []*workloads.Result{fakeResult("x", "dsm", 500)})

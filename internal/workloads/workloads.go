@@ -110,6 +110,35 @@ func ByName(name string) (App, bool) {
 // Names lists the workloads ByName accepts.
 var Names = []string{"msgpass", "radiosity", "raytrace", "volrend", "mfifo", "motionest", "stencil", "reacquire", "pipeline"}
 
+// Scaled is ByName with an optional CI-sized ("small") configuration: the
+// same shrunken parameters the experiment suite uses for quick runs. With
+// small=false it is exactly ByName.
+func Scaled(name string, small bool) (App, bool) {
+	app, ok := ByName(name)
+	if !ok || !small {
+		return app, ok
+	}
+	switch a := app.(type) {
+	case *Radiosity:
+		a.Patches, a.Rounds, a.Fanout = 48, 2, 3
+	case *Raytrace:
+		a.Cells, a.Rays, a.StepsPerRay = 48, 40, 4
+	case *Volrend:
+		a.Bricks, a.OutTiles, a.RaysPerTile = 32, 24, 3
+	case *MFifo:
+		a.Items = 12
+	case *MotionEst:
+		a.BlocksX, a.BlocksY = 4, 2
+	case *Stencil:
+		a.Iters = 4
+	case *Reacquire:
+		a.Iters = 32
+	case *Pipeline:
+		a.Frames = 6
+	}
+	return app, true
+}
+
 // RunTraced is Run with an event tracer attached; the trace is returned for
 // CSV or Chrome-trace export.
 func RunTraced(app App, cfg soc.Config, backendName string, limit int) (*Result, *trace.Trace, error) {

@@ -45,10 +45,12 @@ import (
 	"pmc/internal/core"
 	"pmc/internal/exp"
 	"pmc/internal/litmus"
+	"pmc/internal/noc"
 	"pmc/internal/rt"
 	"pmc/internal/sim"
 	"pmc/internal/soc"
 	"pmc/internal/stats"
+	"pmc/internal/sweep"
 	"pmc/internal/trace"
 	"pmc/internal/workloads"
 )
@@ -246,6 +248,42 @@ func AppByName(name string) (App, bool) { return workloads.ByName(name) }
 
 // AppNames lists the runnable workloads.
 func AppNames() []string { return append([]string(nil), workloads.Names...) }
+
+// ---- Parallel sweeps ----
+
+type (
+	// SweepSpec declares a sweep grid: apps × backends × tile counts ×
+	// NoC topologies, run concurrently on a worker pool with results
+	// merged in deterministic grid order.
+	SweepSpec = sweep.Spec
+	// SweepCell identifies one grid point.
+	SweepCell = sweep.Cell
+	// SweepRow is one measured cell, flattened for JSON/CSV emission.
+	SweepRow = sweep.Row
+	// SweepTable is a completed sweep; WriteJSON and WriteCSV emit it.
+	SweepTable = sweep.Table
+	// NoCTopology selects the interconnect shape of a swept system.
+	NoCTopology = noc.Topology
+)
+
+// NoC topologies for SweepSpec.Topos.
+const (
+	TopoRing = noc.TopoRing
+	TopoMesh = noc.TopoMesh
+)
+
+// Sweep runs every cell of the grid on a worker pool (Workers=0 means
+// GOMAXPROCS) and returns the merged table. The emitted bytes are
+// identical for any worker count: each cell's simulation is deterministic
+// and rows are merged by grid index.
+func Sweep(spec SweepSpec) (*SweepTable, error) { return sweep.Run(spec) }
+
+// ParseTopology converts "ring" or "mesh" to a NoCTopology.
+func ParseTopology(s string) (NoCTopology, error) { return noc.ParseTopology(s) }
+
+// ScaledApp is AppByName with an optional CI-sized configuration (the
+// "small" experiment scale).
+func ScaledApp(name string, small bool) (App, bool) { return workloads.Scaled(name, small) }
 
 // Experiments returns every registered table/figure experiment.
 func Experiments() []Experiment { return exp.All() }

@@ -101,6 +101,49 @@ func TestPublicWorkloadsAndBackends(t *testing.T) {
 	}
 }
 
+// TestPublicSweep exercises the exported sweep engine end to end: grid
+// expansion, parallel execution, JSON emission, and worker-count
+// independence of the emitted bytes.
+func TestPublicSweep(t *testing.T) {
+	spec := func(workers int) pmc.SweepSpec {
+		return pmc.SweepSpec{
+			Apps:     []string{"radiosity", "msgpass"},
+			Backends: []string{"nocc", "swcc"},
+			Tiles:    []int{2, 4},
+			Topos:    []pmc.NoCTopology{pmc.TopoRing, pmc.TopoMesh},
+			Workers:  workers,
+			Make: func(c pmc.SweepCell) (pmc.App, error) {
+				app, _ := pmc.ScaledApp(c.App, true)
+				return app, nil
+			},
+		}
+	}
+	seq, err := pmc.Sweep(spec(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := pmc.Sweep(spec(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seq.Rows) != 2*2*2*2 {
+		t.Fatalf("%d rows, want 16", len(seq.Rows))
+	}
+	var a, b bytes.Buffer
+	if err := seq.WriteJSON(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := par.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("sweep JSON differs between 1 and 4 workers")
+	}
+	if _, err := pmc.ParseTopology("mesh"); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestPublicExperiments(t *testing.T) {
 	if len(pmc.Experiments()) < 17 {
 		t.Fatalf("only %d experiments registered", len(pmc.Experiments()))
