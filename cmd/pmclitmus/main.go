@@ -9,12 +9,24 @@
 //	pmclitmus -table1            print the ordering-rule table
 //	pmclitmus -prog sb-drf -workers 8
 //	pmclitmus -prog sb-drf -workers 1 -memoize=false   (reference engine)
+//
+// Differential fuzzing — generate seeded random annotated programs,
+// explore each under the model, execute on every backend, and shrink any
+// violation to a minimal counterexample:
+//
+//	pmclitmus -fuzz -seed 1 -n 500 -shrink
+//	pmclitmus -fuzz -seed 1 -n 500 -mode racy -fuzzbackends swcc,dsm
+//	pmclitmus -fuzz -seed 1 -n 200 -shrink -fault release-without-flush
+//
+// Every violation line prints the program seed; re-running with -seed
+// <that seed> -n 1 reproduces it exactly.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"pmc"
 )
@@ -45,6 +57,49 @@ func explore(p pmc.LitmusProgram, o engineOpts) error {
 	return nil
 }
 
+func runFuzz(seed int64, n int, mode, backends, fault string, shrink bool, runs, workers, maxStates int) error {
+	m, err := pmc.ParseFuzzMode(mode)
+	if err != nil {
+		return err
+	}
+	cfg := pmc.FuzzConfig{
+		Seed:      seed,
+		N:         n,
+		Gen:       pmc.FuzzGenConfig{Mode: m},
+		Runs:      runs,
+		Workers:   workers,
+		Shrink:    shrink,
+		MaxStates: maxStates,
+		Progress:  os.Stderr,
+	}
+	if backends != "" {
+		cfg.Backends = strings.Split(backends, ",")
+	}
+	fs, err := pmc.ParseFaultSet(fault)
+	if err != nil {
+		return err
+	}
+	if fs.Enabled() {
+		fmt.Printf("injecting fault %q into every checked backend\n", fs)
+		cfg.MakeBackend = func(name string) (pmc.Backend, error) {
+			b, err := pmc.BackendByName(name)
+			if err != nil {
+				return nil, err
+			}
+			return pmc.InjectFaults(b, fs), nil
+		}
+	}
+	sum, err := pmc.FuzzRun(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Print(sum)
+	if !sum.Ok() {
+		return fmt.Errorf("campaign found %d violations, %d run errors", len(sum.Violations), len(sum.Errors))
+	}
+	return nil
+}
+
 func main() {
 	var (
 		prog      = flag.String("prog", "", "program name to explore (see -list)")
@@ -55,11 +110,26 @@ func main() {
 		memoize   = flag.Bool("memoize", true, "deduplicate canonical states (disable for the reference tree engine)")
 		maxStates = flag.Int("maxstates", 0, "state budget (0 = default)")
 		stats     = flag.Bool("stats", false, "also print explored-state counts")
+
+		doFuzz   = flag.Bool("fuzz", false, "run a seeded differential fuzzing campaign")
+		seed     = flag.Int64("seed", 1, "fuzz: base seed (program i uses seed+i)")
+		n        = flag.Int("n", 200, "fuzz: number of programs to generate")
+		shrink   = flag.Bool("shrink", false, "fuzz: shrink violations to minimal counterexamples")
+		mode     = flag.String("mode", "mixed", "fuzz: generation mode (drf, racy, mixed)")
+		backends = flag.String("fuzzbackends", "", "fuzz: comma-separated backends (default: nocc,swcc,dsm,spm)")
+		fault    = flag.String("fault", "", "fuzz: inject a protocol fault (e.g. release-without-flush) into every backend")
+		runs     = flag.Int("runs", 3, "fuzz: perturbed simulator runs per program and backend")
 	)
 	flag.Parse()
 	opts := engineOpts{workers: *workers, memoize: *memoize, maxStates: *maxStates, stats: *stats}
 
 	switch {
+	case *doFuzz:
+		if err := runFuzz(*seed, *n, *mode, *backends, *fault, *shrink, *runs, *workers, *maxStates); err != nil {
+			fmt.Fprintln(os.Stderr, "pmclitmus:", err)
+			os.Exit(1)
+		}
+		return
 	case *table1:
 		fmt.Print(pmc.RenderTableI())
 		return

@@ -10,9 +10,10 @@
 // sample the implementation's outcome space the harness re-runs each
 // program under many timing perturbations (per-thread start staggers and
 // poll backoffs), which shift the interleaving without touching program
-// logic. Conformance requires observed ⊆ allowed; the inclusion is
-// typically strict, because a real machine resolves races that the model
-// leaves open.
+// logic. Every perturbation derives from an explicit base seed recorded in
+// the report, so any violation is reproducible from the report alone.
+// Conformance requires observed ⊆ allowed; the inclusion is typically
+// strict, because a real machine resolves races that the model leaves open.
 package conform
 
 import (
@@ -22,21 +23,38 @@ import (
 
 	"pmc/internal/litmus"
 	"pmc/internal/rt"
+	"pmc/internal/sim"
 	"pmc/internal/soc"
 )
+
+// Violation is one observed outcome the model forbids, together with the
+// perturbation seed of the first run that produced it — rerunning the
+// program with that seed on the same backend reproduces the outcome.
+type Violation struct {
+	Outcome string
+	Seed    int64
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("%q (seed %d)", v.Outcome, v.Seed)
+}
 
 // Report is the result of checking one program on one backend.
 type Report struct {
 	Program string
 	Backend string
-	// Allowed is the model's outcome set.
+	// Seed is the base perturbation seed; run r was perturbed with
+	// Seed+r.
+	Seed int64
+	// Allowed is the model's outcome set for the effective program (see
+	// EffectiveProgram).
 	Allowed []string
 	// Observed maps each outcome seen on the simulator to the number of
 	// perturbed runs that produced it.
 	Observed map[string]int
 	// Violations lists observed outcomes the model forbids (must be
 	// empty for a conforming implementation).
-	Violations []string
+	Violations []Violation
 	Runs       int
 }
 
@@ -46,38 +64,79 @@ func (r *Report) Ok() bool { return len(r.Violations) == 0 }
 // String renders the report compactly.
 func (r *Report) String() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "%s on %s: %d runs, %d/%d allowed outcomes observed",
-		r.Program, r.Backend, r.Runs, len(r.Observed), len(r.Allowed))
+	fmt.Fprintf(&b, "%s on %s: %d runs (base seed %d), %d/%d allowed outcomes observed",
+		r.Program, r.Backend, r.Runs, r.Seed, len(r.Observed)-len(r.Violations), len(r.Allowed))
 	if !r.Ok() {
 		fmt.Fprintf(&b, "; VIOLATIONS: %v", r.Violations)
 	}
 	return b.String()
 }
 
+// Options configures a conformance check beyond the program and backend
+// name.
+type Options struct {
+	// Tiles is the system size; it must cover the program's threads.
+	Tiles int
+	// Runs is the number of perturbed simulations.
+	Runs int
+	// Seed is the base perturbation seed: run r is perturbed with
+	// Seed+r. The zero value reproduces the historical schedule
+	// (run index as seed).
+	Seed int64
+	// MaxCycles bounds each simulated run; 0 means a generous default.
+	// Fuzzing loops lower it so livelocking candidates fail fast.
+	MaxCycles sim.Time
+	// Backend, if non-nil, constructs the backend instance for each run
+	// instead of rt.ByName — the hook fault-injection harnesses use to
+	// check a deliberately broken protocol against the model.
+	Backend func() (rt.Backend, error)
+	// Model, if non-nil, is a precomputed exploration of
+	// EffectiveProgram(prog); the fuzzer shares one exploration across
+	// all backends instead of re-exploring per check.
+	Model *litmus.Result
+}
+
 // Check explores prog under the model, then executes it on the simulator
 // with the given backend under `runs` timing perturbations, and compares
-// outcome sets.
+// outcome sets. Perturbations use the historical base seed 0.
 func Check(prog litmus.Program, backend string, tiles, runs int) (*Report, error) {
-	model, err := litmus.Explore(prog)
-	if err != nil {
-		return nil, err
+	return CheckOpts(prog, backend, Options{Tiles: tiles, Runs: runs})
+}
+
+// CheckOpts is Check with explicit options.
+func CheckOpts(prog litmus.Program, backend string, opt Options) (*Report, error) {
+	if opt.Runs <= 0 {
+		return nil, fmt.Errorf("conform: Runs must be positive (a 0-run check would vacuously pass)")
+	}
+	if opt.Tiles < len(prog.Threads) {
+		return nil, fmt.Errorf("conform: %d tiles for %d threads", opt.Tiles, len(prog.Threads))
+	}
+	// One rewrite defines the program under test for BOTH sides: the
+	// model explores it and the simulator executes it.
+	eff := EffectiveProgram(prog)
+	model := opt.Model
+	if model == nil {
+		var err error
+		model, err = litmus.Explore(eff)
+		if err != nil {
+			return nil, err
+		}
 	}
 	rep := &Report{
 		Program:  prog.Name,
 		Backend:  backend,
+		Seed:     opt.Seed,
 		Allowed:  model.OutcomeList(),
 		Observed: make(map[string]int),
-		Runs:     runs,
+		Runs:     opt.Runs,
 	}
 	allowed := make(map[string]bool, len(rep.Allowed))
 	for _, o := range rep.Allowed {
 		allowed[o] = true
 	}
-	if tiles < len(prog.Threads) {
-		return nil, fmt.Errorf("conform: %d tiles for %d threads", tiles, len(prog.Threads))
-	}
-	for seed := 0; seed < runs; seed++ {
-		outcome, err := execute(prog, backend, tiles, uint32(seed))
+	for run := 0; run < opt.Runs; run++ {
+		seed := opt.Seed + int64(run)
+		outcome, err := execute(eff, backend, opt, uint32(seed))
 		if err != nil {
 			return nil, fmt.Errorf("conform %s on %s seed %d: %w", prog.Name, backend, seed, err)
 		}
@@ -85,29 +144,85 @@ func Check(prog litmus.Program, backend string, tiles, runs int) (*Report, error
 		if !allowed[outcome] {
 			dup := false
 			for _, v := range rep.Violations {
-				if v == outcome {
+				if v.Outcome == outcome {
 					dup = true
 				}
 			}
 			if !dup {
-				rep.Violations = append(rep.Violations, outcome)
+				rep.Violations = append(rep.Violations, Violation{Outcome: outcome, Seed: seed})
 			}
 		}
 	}
 	return rep, nil
 }
 
-// execute runs one perturbed instance of prog and returns its canonical
-// outcome string.
-func execute(prog litmus.Program, backend string, tiles int, seed uint32) (string, error) {
+// EffectiveProgram completes a program under the runtime's annotation
+// discipline: every access must happen inside an entry/exit scope, so
+// each bare write gets its own entry_x/exit_x pair plus a flush (the
+// flush is a liveness hint, Section IV-D — it is what lets pollers on
+// weak-visibility backends eventually observe the value, the paper's
+// reason for flush(f) in Fig. 6). CheckOpts rewrites the program ONCE and
+// uses the result on both sides — the model explores it and the
+// simulator executes it — because the added scopes are real
+// synchronization the hardware performs. Comparing the execution against
+// the bare program's model would be unsound in both
+// directions: the wrapper's lock edges both forbid outcomes the bare
+// model allows and allow outcomes it forbids (a thread re-reading a
+// location it wrote bare may legitimately observe another thread's
+// interleaved locked write, which the bare model's Definition 12 excludes).
+// Bare reads execute as entry_ro/read/exit_ro, which for word-sized
+// objects takes no lock and adds no model ordering, so they stay plain
+// reads; awaits likewise poll through entry_ro and stay awaits.
+func EffectiveProgram(p litmus.Program) litmus.Program {
+	out := p
+	out.Threads = make([]litmus.Thread, len(p.Threads))
+	for ti, th := range p.Threads {
+		open := map[string]bool{}
+		var eff litmus.Thread
+		for _, in := range th {
+			switch in.Kind {
+			case litmus.IAcquire:
+				open[in.Loc] = true
+			case litmus.IRelease:
+				delete(open, in.Loc)
+			case litmus.IWrite:
+				if !open[in.Loc] {
+					eff = append(eff,
+						litmus.Acquire(in.Loc),
+						litmus.Write(in.Loc, in.Val),
+						litmus.Flush(in.Loc),
+						litmus.Release(in.Loc),
+					)
+					continue
+				}
+			}
+			eff = append(eff, in)
+		}
+		out.Threads[ti] = eff
+	}
+	return out
+}
+
+// execute runs one perturbed instance of an *effective* program (see
+// EffectiveProgram — every write already sits inside an explicit scope)
+// and returns its canonical outcome string.
+func execute(prog litmus.Program, backend string, opt Options, seed uint32) (string, error) {
 	cfg := soc.DefaultConfig()
-	cfg.Tiles = tiles
-	cfg.MaxCycles = 20_000_000
+	cfg.Tiles = opt.Tiles
+	cfg.MaxCycles = opt.MaxCycles
+	if cfg.MaxCycles == 0 {
+		cfg.MaxCycles = 20_000_000
+	}
 	sys, err := soc.New(cfg)
 	if err != nil {
 		return "", err
 	}
-	b, err := rt.ByName(backend)
+	var b rt.Backend
+	if opt.Backend != nil {
+		b, err = opt.Backend()
+	} else {
+		b, err = rt.ByName(backend)
+	}
 	if err != nil {
 		return "", err
 	}
@@ -120,7 +235,10 @@ func execute(prog litmus.Program, backend string, tiles int, seed uint32) (strin
 		name string
 		val  uint32
 	}
-	results := make(chan reg, 64) // collected host-side; no sim cost
+	// Collected host-side (no sim cost); each register-bearing
+	// instruction sends at most once per run, so this buffer can never
+	// fill and block the kernel.
+	results := make(chan reg, observationCount(prog)+1)
 	for ti, th := range prog.Threads {
 		ti, th := ti, th
 		// Deterministic per-thread perturbation derived from the seed.
@@ -130,28 +248,14 @@ func execute(prog litmus.Program, backend string, tiles int, seed uint32) (strin
 		r.Spawn(ti, fmt.Sprintf("t%d", ti), func(c *rt.Ctx) {
 			c.SetCodeFootprint(1024)
 			c.Compute(1 + stagger)
-			// Bare litmus accesses get their own entry/exit pair (the
-			// runtime discipline requires one, and the added
-			// synchronization can only restrict outcomes); accesses
-			// inside an explicit acquire/release use the open scope.
+			// The effective program puts every write inside an explicit
+			// entry/exit scope; bare reads run through an entry_ro pair,
+			// which for word-sized objects adds no model ordering.
 			open := map[string]bool{}
 			for _, in := range th {
 				switch in.Kind {
 				case litmus.IWrite:
-					if open[in.Loc] {
-						c.Write32(objs[in.Loc], 0, uint32(in.Val))
-						break
-					}
-					// A bare write gets its own scope plus a flush:
-					// the flush adds no ordering (it is a liveness
-					// hint, Section IV-D) but is what lets pollers
-					// on weak-visibility backends (DSM, lazy SWCC)
-					// eventually observe the value — the paper's
-					// reason for flush(f) in Fig. 6.
-					c.EntryX(objs[in.Loc])
 					c.Write32(objs[in.Loc], 0, uint32(in.Val))
-					c.Flush(objs[in.Loc])
-					c.ExitX(objs[in.Loc])
 				case litmus.IRead:
 					var v uint32
 					if open[in.Loc] {
@@ -204,6 +308,20 @@ func execute(prog litmus.Program, backend string, tiles int, seed uint32) (strin
 		regs[rv.name] = rv.val
 	}
 	return canonical(regs), nil
+}
+
+// observationCount returns how many instructions can send a register
+// observation (each does so at most once per run).
+func observationCount(p litmus.Program) int {
+	n := 0
+	for _, th := range p.Threads {
+		for _, in := range th {
+			if in.Reg != "" {
+				n++
+			}
+		}
+	}
+	return n
 }
 
 // canonical matches the litmus explorer's outcome rendering.

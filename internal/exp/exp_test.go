@@ -23,7 +23,7 @@ func TestRegistryComplete(t *testing.T) {
 		"ablation-locks", "ablation-release", "ablation-scaling", "ablation-dcache", "ablation-granularity",
 		"ablation-explorer",
 		"ext-stencil", "ext-pc", "ext-scoped-fence", "ext-mesh", "ext-conformance",
-		"sweep-scaling",
+		"sweep-scaling", "fuzz",
 	}
 	for _, id := range want {
 		if _, ok := ByID(id); !ok {
@@ -185,6 +185,20 @@ func TestAblations(t *testing.T) {
 				t.Fatalf("suspiciously short report:\n%s", out)
 			}
 		})
+	}
+}
+
+// TestFuzzExpSmall: the fuzz experiment must show clean healthy campaigns
+// in every mode and a caught, shrunk fault-injection counterexample.
+func TestFuzzExpSmall(t *testing.T) {
+	out := small(t, "fuzz")
+	for _, want := range []string{
+		"drf:", "racy:", "mixed:", "0 violations, 0 run errors",
+		"release-without-flush", "shrunk", "entry_x(", "exit_x(",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("fuzz experiment missing %q in:\n%s", want, out)
+		}
 	}
 }
 

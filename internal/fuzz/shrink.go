@@ -1,0 +1,186 @@
+package fuzz
+
+import (
+	"pmc/internal/core"
+	"pmc/internal/litmus"
+)
+
+// Delta-debugging shrinker: given a program exhibiting a failure (decided
+// by an arbitrary repro predicate) it greedily minimizes the program while
+// the failure persists — whole threads first, then instructions (keeping
+// entry/exit pairs matched so candidates stay well-formed), then write
+// values — iterating to a fixpoint. Candidates that no longer fail, fail
+// to explore, or deadlock/livelock on the simulator simply do not
+// reproduce and are rejected by the predicate, so the shrinker needs no
+// structural knowledge beyond pair matching.
+
+// Repro reports whether a candidate program still exhibits the failure
+// being minimized. It must be deterministic.
+type Repro func(p litmus.Program) bool
+
+// Shrink minimizes p while repro keeps holding. It returns the minimized
+// program and the number of accepted shrink steps. The input program is
+// not modified.
+func Shrink(p litmus.Program, repro Repro) (litmus.Program, int) {
+	cur := cloneProgram(p)
+	steps := 0
+	for {
+		c, ok := shrinkPass(cur, repro)
+		if !ok {
+			break
+		}
+		cur = c
+		steps++
+	}
+	cur.Locs = usedLocs(cur)
+	if len(cur.Locs) == 0 {
+		cur.Locs = p.Locs // degenerate, keep explorable
+	}
+	return cur, steps
+}
+
+// shrinkPass tries every single reduction of cur in a fixed order and
+// returns the first accepted candidate.
+func shrinkPass(cur litmus.Program, repro Repro) (litmus.Program, bool) {
+	// 1. Drop a whole thread.
+	for ti := range cur.Threads {
+		if len(cur.Threads) == 1 {
+			break
+		}
+		cand := cloneProgram(cur)
+		cand.Threads = append(cand.Threads[:ti:ti], cand.Threads[ti+1:]...)
+		if instrCountOK(cand) && repro(cand) {
+			return cand, true
+		}
+	}
+	// 2. Drop an instruction (acquire/release as a matched pair).
+	for ti := range cur.Threads {
+		for j := range cur.Threads[ti] {
+			cand, ok := dropInstr(cur, ti, j)
+			if ok && instrCountOK(cand) && repro(cand) {
+				return cand, true
+			}
+		}
+	}
+	// 3. Shrink write values to 1 (rewriting awaits of the same
+	// location/value pair so they stay satisfiable).
+	for _, loc := range usedLocs(cur) {
+		for _, v := range writeValues(cur, loc) {
+			if v == 1 {
+				continue
+			}
+			cand := replaceValue(cur, loc, v, 1)
+			if repro(cand) {
+				return cand, true
+			}
+		}
+	}
+	return litmus.Program{}, false
+}
+
+func instrCountOK(p litmus.Program) bool { return litmus.InstrCount(p) > 0 }
+
+func cloneProgram(p litmus.Program) litmus.Program {
+	c := p
+	c.Locs = append([]string(nil), p.Locs...)
+	c.Threads = make([]litmus.Thread, len(p.Threads))
+	for i, th := range p.Threads {
+		c.Threads[i] = append(litmus.Thread(nil), th...)
+	}
+	return c
+}
+
+// dropInstr removes instruction j of thread ti; an acquire or release is
+// removed together with its matching partner so the candidate keeps the
+// static lock discipline. It reports false for an index that no longer
+// exists (callers iterate over the pre-drop shape).
+func dropInstr(p litmus.Program, ti, j int) (litmus.Program, bool) {
+	th := p.Threads[ti]
+	if j >= len(th) {
+		return litmus.Program{}, false
+	}
+	drop := map[int]bool{j: true}
+	switch th[j].Kind {
+	case litmus.IAcquire:
+		if k := matchRelease(th, j); k >= 0 {
+			drop[k] = true
+		}
+	case litmus.IRelease:
+		if k := matchAcquire(th, j); k >= 0 {
+			drop[k] = true
+		}
+	}
+	cand := cloneProgram(p)
+	var out litmus.Thread
+	for idx, in := range th {
+		if !drop[idx] {
+			out = append(out, in)
+		}
+	}
+	cand.Threads[ti] = out
+	return cand, true
+}
+
+// matchRelease finds the release paired with the acquire at index j.
+func matchRelease(th litmus.Thread, j int) int {
+	loc, depth := th[j].Loc, 0
+	for k := j + 1; k < len(th); k++ {
+		switch {
+		case th[k].Kind == litmus.IAcquire && th[k].Loc == loc:
+			depth++
+		case th[k].Kind == litmus.IRelease && th[k].Loc == loc:
+			if depth == 0 {
+				return k
+			}
+			depth--
+		}
+	}
+	return -1
+}
+
+// matchAcquire finds the acquire paired with the release at index j.
+func matchAcquire(th litmus.Thread, j int) int {
+	loc, depth := th[j].Loc, 0
+	for k := j - 1; k >= 0; k-- {
+		switch {
+		case th[k].Kind == litmus.IRelease && th[k].Loc == loc:
+			depth++
+		case th[k].Kind == litmus.IAcquire && th[k].Loc == loc:
+			if depth == 0 {
+				return k
+			}
+			depth--
+		}
+	}
+	return -1
+}
+
+// writeValues returns the distinct values written to loc, in program
+// order of first appearance.
+func writeValues(p litmus.Program, loc string) []core.Value {
+	var vals []core.Value
+	seen := map[core.Value]bool{}
+	for _, th := range p.Threads {
+		for _, in := range th {
+			if in.Kind == litmus.IWrite && in.Loc == loc && !seen[in.Val] {
+				seen[in.Val] = true
+				vals = append(vals, in.Val)
+			}
+		}
+	}
+	return vals
+}
+
+// replaceValue rewrites writes and awaits of (loc, old) to value new.
+func replaceValue(p litmus.Program, loc string, old, new core.Value) litmus.Program {
+	cand := cloneProgram(p)
+	for _, th := range cand.Threads {
+		for i, in := range th {
+			if in.Loc == loc && in.Val == old &&
+				(in.Kind == litmus.IWrite || in.Kind == litmus.IAwaitEq) {
+				th[i].Val = new
+			}
+		}
+	}
+	return cand
+}

@@ -21,6 +21,7 @@
 package litmus
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 	"sort"
@@ -28,6 +29,10 @@ import (
 
 	"pmc/internal/core"
 )
+
+// ErrBudget is wrapped by Run when the state budget is exhausted with work
+// remaining; match it with errors.Is (the fuzzer skips such programs).
+var ErrBudget = errors.New("state budget exhausted")
 
 // InstrKind enumerates litmus instructions. They correspond to the PMC
 // annotations of Section V-A: reads/writes plus entry_x/exit_x (acquire/
@@ -287,8 +292,8 @@ func (x *Explorer) Run() (*Result, error) {
 		return nil, err
 	}
 	if g.budgetHit.Load() {
-		return nil, fmt.Errorf("litmus %s: state budget exhausted (budget %d, work remained)",
-			x.prog.Name, x.MaxStates)
+		return nil, fmt.Errorf("litmus %s: %w (budget %d, work remained)",
+			x.prog.Name, ErrBudget, x.MaxStates)
 	}
 	out := &Result{Outcomes: res.outcomes, Stuck: res.stuck, States: int(g.states.Load())}
 	if out.Outcomes == nil {

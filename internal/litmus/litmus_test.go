@@ -471,3 +471,48 @@ func TestWRCCausality(t *testing.T) {
 		t.Fatal("no outcome recorded")
 	}
 }
+
+// TestCoRWOutcomes: the read can observe the initial value or the remote
+// write, never the thread's own later write (reads return issued writes
+// only).
+func TestCoRWOutcomes(t *testing.T) {
+	r := explore(t, CoRW())
+	for _, want := range []string{"r1=0", "r1=2"} {
+		if !r.HasOutcome(want) {
+			t.Errorf("missing outcome %q (all: %v)", want, r.OutcomeList())
+		}
+	}
+	if r.HasOutcome("r1=1") {
+		t.Fatalf("read observed the thread's own future write: %v", r.OutcomeList())
+	}
+}
+
+// TestCoWROutcomes: under the bare model, Definition 12 pins the read to
+// the thread's own write — the racing remote write is never ordered after
+// it, so it is not readable. (The conformance harness compares against
+// the effective program instead; see conform.EffectiveProgram.)
+func TestCoWROutcomes(t *testing.T) {
+	r := explore(t, CoWR())
+	if !r.HasOutcome("r1=1") {
+		t.Fatalf("own write not readable: %v", r.OutcomeList())
+	}
+	for _, o := range r.OutcomeList() {
+		if o != "r1=1" {
+			t.Fatalf("bare model admitted %q, want only r1=1 (all: %v)", o, r.OutcomeList())
+		}
+	}
+}
+
+// TestIRIW3ReadersMayDisagree: even though the two writes are issued by
+// ONE process in program order, unsynchronized readers may observe them
+// in opposite orders — ≺P is per location, so there is no global store
+// order without acquires.
+func TestIRIW3ReadersMayDisagree(t *testing.T) {
+	r := explore(t, IRIW3())
+	if !r.HasOutcome("a=0 b=1 c=1 d=1") {
+		t.Errorf("reader 1 cannot see Y before X: %v", r.OutcomeList())
+	}
+	if !r.HasOutcome("a=1 b=1 c=1 d=0") {
+		t.Errorf("reader 2 cannot see X before Y: %v", r.OutcomeList())
+	}
+}

@@ -235,6 +235,54 @@ func WRCDRF() Program {
 	}
 }
 
+// CoRW is the classic coherence shape "read then write, racing a remote
+// write": reads only return issued writes, so r1 can observe the initial
+// value or T1's write, never T0's own later write.
+func CoRW() Program {
+	return Program{
+		Name: "corw",
+		Locs: []string{"X"},
+		Threads: []Thread{
+			{Read("X", "r1"), Write("X", 1)},
+			{Write("X", 2)},
+		},
+	}
+}
+
+// CoWR is "write then read, racing a remote write". The bare model's
+// Definition 12 pins r1 to T0's own write (the remote write is never
+// ordered after it), but the executed program runs each bare write in its
+// own entry/exit scope, which lock-orders the writes and legitimately lets
+// r1 observe T1's value — exactly the discrepancy conform.EffectiveProgram
+// accounts for.
+func CoWR() Program {
+	return Program{
+		Name: "cowr",
+		Locs: []string{"X"},
+		Threads: []Thread{
+			{Write("X", 1), Read("X", "r1")},
+			{Write("X", 2)},
+		},
+	}
+}
+
+// IRIW3 is a 3-thread IRIW-style program: one process writes two
+// locations in program order, two readers read them in opposite orders.
+// Bare reads carry no acquire, so PMC lets the readers disagree on the
+// write order — per-process program order (≺P) is per location and does
+// not impose a global store order on unsynchronized readers.
+func IRIW3() Program {
+	return Program{
+		Name: "iriw-3t",
+		Locs: []string{"X", "Y"},
+		Threads: []Thread{
+			{Write("X", 1), Write("Y", 1)},
+			{Read("X", "a"), Read("Y", "b")},
+			{Read("Y", "c"), Read("X", "d")},
+		},
+	}
+}
+
 // StressIndependent is a deliberately state-heavy program: four threads
 // work on private locations (with a lock, a fence and trailing reads mixed
 // in), so the interleaving tree has ~2×10⁸ complete paths — two orders of
@@ -275,9 +323,12 @@ func Catalog() []Program {
 		StoreBufferingBare(),
 		StoreBufferingDRF(),
 		CoRR(),
+		CoRW(),
+		CoWR(),
 		MutexCounter(),
 		LoadBuffering(),
 		IRIW(),
+		IRIW3(),
 		WRCDRF(),
 		StressIndependent(),
 	}

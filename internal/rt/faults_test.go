@@ -8,54 +8,12 @@ import (
 	"pmc/internal/sim"
 )
 
-// This file injects protocol faults: it disables one Table II mechanism at
-// a time and asserts that the system observably breaks — wrong results,
-// model violations from the recorder, or livelock caught by the watchdog.
-// Every mechanism the paper prescribes is load-bearing.
-
-// faulty wraps a backend and selectively disables protocol steps.
-type faulty struct {
-	Backend
-	skipExitFlush bool // swcc: release without flushing the object
-	skipROFlush   bool // swcc: exit_ro without invalidating the lines
-	skipFlush     bool // any: flush() does nothing
-	dropTransfer  bool // dsm: lock transfer does not move the data
-}
-
-func (f *faulty) ExitX(c *Ctx, o *Object) {
-	if f.skipExitFlush {
-		c.T.ReleaseLock(c.P, o.LockID) // no flush: dirty data stays cached
-		return
-	}
-	f.Backend.ExitX(c, o)
-}
-
-func (f *faulty) ExitRO(c *Ctx, o *Object) {
-	if f.skipROFlush {
-		if c.scopes[o].locked {
-			c.T.ReleaseLock(c.P, o.LockID)
-		}
-		return // lines stay resident: future polls read stale data
-	}
-	f.Backend.ExitRO(c, o)
-}
-
-func (f *faulty) Flush(c *Ctx, o *Object) {
-	if f.skipFlush {
-		return
-	}
-	f.Backend.Flush(c, o)
-}
-
-func (f *faulty) Init(rt *Runtime) {
-	f.Backend.Init(rt)
-	if f.dropTransfer && rt.Sys.DLock != nil {
-		// Erase the data-carrying transfer hook the dsm backend set.
-		rt.Sys.DLock.OnTransfer = func(lockID, from, to int, t sim.Time) sim.Time { return t }
-	}
-}
-
-func (f *faulty) Name() string { return f.Backend.Name() + "-faulty" }
+// This file injects protocol faults through the exported rt.InjectFaults
+// facility: it disables one Table II mechanism at a time and asserts that
+// the system observably breaks — wrong results, model violations from the
+// recorder, or livelock caught by the watchdog. Every mechanism the paper
+// prescribes is load-bearing. The litmus fuzzer (internal/fuzz) uses the
+// same facility to prove it catches and shrinks real protocol bugs.
 
 // counterWorkload increments a shared counter from every tile and returns
 // the final value and the recorder.
@@ -86,7 +44,7 @@ func counterWorkload(t *testing.T, b Backend, tiles, iters int, maxCycles sim.Ti
 // reads stale SDRAM data and increments are lost. The recorder must flag
 // the stale read as a model violation.
 func TestFaultSWCCMissingExitFlush(t *testing.T) {
-	got, rec, err := counterWorkload(t, &faulty{Backend: SWCC(), skipExitFlush: true}, 4, 8, 0)
+	got, rec, err := counterWorkload(t, InjectFaults(SWCC(), FaultSet{SkipExitFlush: true}), 4, 8, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -112,7 +70,7 @@ func TestFaultSWCCMissingExitFlush(t *testing.T) {
 func TestFaultSWCCMissingROInvalidate(t *testing.T) {
 	sys := testSys(t, 2)
 	sys.K.MaxTime = 300_000
-	r := New(sys, &faulty{Backend: SWCC(), skipROFlush: true})
+	r := New(sys, InjectFaults(SWCC(), FaultSet{SkipROFlush: true}))
 	flag := r.Alloc("flag", 4)
 	r.Spawn(0, "reader", func(c *Ctx) {
 		pollUntil(c, flag, 1) // first poll caches 0; never invalidated
@@ -134,7 +92,7 @@ func TestFaultSWCCMissingROInvalidate(t *testing.T) {
 // new owner computes on its stale replica. Increments are lost and the
 // recorder flags it.
 func TestFaultDSMDroppedTransfer(t *testing.T) {
-	got, rec, err := counterWorkload(t, &faulty{Backend: DSM(), dropTransfer: true}, 4, 8, 0)
+	got, rec, err := counterWorkload(t, InjectFaults(DSM(), FaultSet{DropTransfer: true}), 4, 8, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -151,7 +109,7 @@ func TestFaultDSMDroppedTransfer(t *testing.T) {
 func TestFaultDSMDroppedFlush(t *testing.T) {
 	sys := testSys(t, 4)
 	sys.K.MaxTime = 300_000
-	r := New(sys, &faulty{Backend: DSM(), skipFlush: true})
+	r := New(sys, InjectFaults(DSM(), FaultSet{SkipFlush: true}))
 	flag := r.Alloc("flag", 4)
 	r.Spawn(2, "reader", func(c *Ctx) {
 		pollUntil(c, flag, 1) // polls its local replica forever
@@ -173,7 +131,7 @@ func TestFaultDSMDroppedFlush(t *testing.T) {
 // coherence failures, not lock failures.
 func TestFaultyBackendStillLocks(t *testing.T) {
 	sys := testSys(t, 4)
-	b := &faulty{Backend: SWCC(), skipExitFlush: true}
+	b := InjectFaults(SWCC(), FaultSet{SkipExitFlush: true})
 	r := New(sys, b)
 	o := r.Alloc("obj", 4)
 	inCS := false

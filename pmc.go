@@ -42,8 +42,10 @@ package pmc
 import (
 	"io"
 
+	"pmc/internal/conform"
 	"pmc/internal/core"
 	"pmc/internal/exp"
+	"pmc/internal/fuzz"
 	"pmc/internal/litmus"
 	"pmc/internal/noc"
 	"pmc/internal/rt"
@@ -128,6 +130,70 @@ func LitmusByName(name string) (LitmusProgram, bool) { return litmus.ByName(name
 
 // LitmusFenceOn returns a location-scoped fence instruction (§IV-D).
 func LitmusFenceOn(loc string) LitmusInstr { return litmus.FenceOn(loc) }
+
+// LitmusFingerprint returns the canonical fingerprint of a program,
+// invariant under renaming of the program, its locations and registers.
+func LitmusFingerprint(p LitmusProgram) string { return litmus.Fingerprint(p) }
+
+// ---- Conformance and fuzzing ----
+
+type (
+	// ConformReport is the result of checking one litmus program on one
+	// backend against the model.
+	ConformReport = conform.Report
+	// ConformOptions configures a conformance check (tiles, runs, the
+	// reported perturbation seed, backend construction).
+	ConformOptions = conform.Options
+	// FuzzConfig drives a seeded differential fuzzing campaign.
+	FuzzConfig = fuzz.Config
+	// FuzzGenConfig bounds the random litmus program generator.
+	FuzzGenConfig = fuzz.GenConfig
+	// FuzzMode selects the annotation discipline of generated programs.
+	FuzzMode = fuzz.Mode
+	// FuzzSummary is the result of a campaign.
+	FuzzSummary = fuzz.Summary
+	// FuzzViolation is one program whose outcomes escaped the model.
+	FuzzViolation = fuzz.Violation
+	// FaultSet selects runtime protocol steps to disable (fault
+	// injection).
+	FaultSet = rt.FaultSet
+)
+
+// Fuzz generation modes.
+const (
+	FuzzDRF   = fuzz.ModeDRF
+	FuzzRacy  = fuzz.ModeRacy
+	FuzzMixed = fuzz.ModeMixed
+)
+
+// ConformCheck explores prog under the model and executes it on the named
+// backend under timing perturbations; observed outcomes must be a subset
+// of the model's.
+func ConformCheck(prog LitmusProgram, backend string, opt ConformOptions) (*ConformReport, error) {
+	return conform.CheckOpts(prog, backend, opt)
+}
+
+// FuzzRun executes a seeded differential fuzzing campaign: generated
+// programs are explored under the model and executed on every configured
+// backend; violating programs are shrunk to minimal counterexamples.
+func FuzzRun(cfg FuzzConfig) (*FuzzSummary, error) { return fuzz.Run(cfg) }
+
+// GenerateLitmus builds the seeded random litmus program with the given
+// bounds — program i of a campaign with base seed s is seed s+i.
+func GenerateLitmus(seed int64, cfg FuzzGenConfig) LitmusProgram { return fuzz.Generate(seed, cfg) }
+
+// RenderLitmus prints a program one thread per line.
+func RenderLitmus(p LitmusProgram) string { return fuzz.Render(p) }
+
+// ParseFuzzMode converts "drf", "racy" or "mixed".
+func ParseFuzzMode(s string) (FuzzMode, error) { return fuzz.ParseMode(s) }
+
+// InjectFaults wraps a backend with selected protocol faults disabled —
+// locks stay intact, so failures are coherence failures.
+func InjectFaults(b Backend, f FaultSet) Backend { return rt.InjectFaults(b, f) }
+
+// ParseFaultSet parses a "+"-separated fault list (see rt.FaultSet).
+func ParseFaultSet(s string) (FaultSet, error) { return rt.ParseFaultSet(s) }
 
 // ---- Simulated system (Section V-B) ----
 
