@@ -5,7 +5,9 @@
 // cost of running the simulator) and sim-cycles/op (the simulated SoC's
 // execution time, the number the paper's figures are about). Shape
 // assertions — who wins, by how much — live in the test suite; the benches
-// record the magnitudes.
+// record the magnitudes, executing each measured point through
+// perf.RunEntry — the same path cmd/pmcbench serializes to BENCH.json —
+// wherever the declarative entries can express it.
 //
 // Run everything:  go test -bench=. -benchmem
 // One figure:      go test -bench=Fig8 -benchmem
@@ -19,9 +21,9 @@ import (
 	"pmc"
 	"pmc/internal/cache"
 	"pmc/internal/core"
-	"pmc/internal/litmus"
 	"pmc/internal/mem"
 	"pmc/internal/noc"
+	"pmc/internal/perf"
 	"pmc/internal/sim"
 	"pmc/internal/soc"
 	"pmc/internal/workloads"
@@ -35,7 +37,36 @@ func benchCfg(tiles int) soc.Config {
 	return cfg
 }
 
-// runApp executes one workload run and reports simulated cycles.
+// runPerfEntry executes one continuous-benchmarking entry per iteration —
+// the same execution path pmcbench measures (perf.RunEntry), so the
+// magnitudes recorded here and in BENCH.json can never diverge.
+func runPerfEntry(b *testing.B, e perf.Entry) []perf.Metric {
+	b.Helper()
+	var metrics []perf.Metric
+	for i := 0; i < b.N; i++ {
+		var err error
+		metrics, err = perf.RunEntry(e)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	return metrics
+}
+
+// runSim benchmarks one simulated workload point through the perf runner
+// and reports its simulated makespan.
+func runSim(b *testing.B, app, backend string, tiles int, small bool) sim.Time {
+	b.Helper()
+	ms := runPerfEntry(b, perf.Entry{Sim: &perf.SimBench{
+		App: app, Backend: backend, Tiles: tiles, Small: small,
+	}})
+	cycles := perf.SimCycles(ms)
+	b.ReportMetric(float64(cycles), "sim-cycles/op")
+	return cycles
+}
+
+// runApp executes one custom-configured workload run and reports simulated
+// cycles (for shapes the declarative perf entries cannot express).
 func runApp(b *testing.B, app func() workloads.App, tiles int, backend string) {
 	b.Helper()
 	var cycles sim.Time
@@ -74,19 +105,14 @@ func BenchmarkTable1ModelOps(b *testing.B) {
 // ---- Figs. 1-6: litmus exploration ----
 
 func benchLitmus(b *testing.B, name string) {
-	prog, ok := litmus.ByName(name)
-	if !ok {
-		b.Fatalf("unknown program %s", name)
-	}
-	var states int
-	for i := 0; i < b.N; i++ {
-		res, err := litmus.Explore(prog)
-		if err != nil {
-			b.Fatal(err)
+	ms := runPerfEntry(b, perf.Entry{Litmus: &perf.LitmusBench{
+		Prog: name, Workers: 0, Memoize: true, // the default engine
+	}})
+	for _, m := range ms {
+		if m.Name == "states" {
+			b.ReportMetric(m.Value, "states/op")
 		}
-		states = res.States
 	}
-	b.ReportMetric(float64(states), "states/op")
 }
 
 func BenchmarkFig1Litmus(b *testing.B)     { benchLitmus(b, "fig1-unsynchronized") }
@@ -111,46 +137,23 @@ func BenchmarkFig2to5Graphs(b *testing.B) {
 func BenchmarkTable2MsgPass(b *testing.B) {
 	for _, backend := range pmc.BackendNames() {
 		b.Run(backend, func(b *testing.B) {
-			runApp(b, func() workloads.App { return workloads.DefaultMsgPass() }, 4, backend)
+			runSim(b, "msgpass", backend, 4, false)
 		})
 	}
 }
 
 // ---- Fig. 8: SPLASH-2 substitutes, noCC vs SWCC ----
 
-func fig8App(name string) func() workloads.App {
-	return func() workloads.App {
-		switch name {
-		case "radiosity":
-			a := workloads.DefaultRadiosity()
-			a.Patches, a.Rounds, a.Fanout = 48, 2, 3
-			return a
-		case "raytrace":
-			a := workloads.DefaultRaytrace()
-			a.Cells, a.Rays, a.StepsPerRay = 48, 40, 4
-			return a
-		default:
-			a := workloads.DefaultVolrend()
-			a.Bricks, a.OutTiles, a.RaysPerTile = 32, 24, 3
-			return a
-		}
-	}
-}
-
+// benchFig8 measures a SPLASH substitute at the CI app size (the same
+// configuration workloads.Scaled gives the perf ci suite) on the baseline
+// and software-coherent backends.
 func benchFig8(b *testing.B, app string) {
 	var cyc [2]sim.Time
 	for i, backend := range []string{"nocc", "swcc"} {
 		backend := backend
 		idx := i
 		b.Run(backend, func(b *testing.B) {
-			for n := 0; n < b.N; n++ {
-				res, err := workloads.Run(fig8App(app)(), benchCfg(8), backend)
-				if err != nil {
-					b.Fatal(err)
-				}
-				cyc[idx] = res.Cycles
-			}
-			b.ReportMetric(float64(cyc[idx]), "sim-cycles/op")
+			cyc[idx] = runSim(b, app, backend, 8, true)
 			if backend == "swcc" && cyc[0] > 0 {
 				b.ReportMetric(100*(1-float64(cyc[1])/float64(cyc[0])), "improvement-%")
 			}
@@ -192,11 +195,7 @@ func BenchmarkFig10Motion(b *testing.B) {
 	for _, backend := range []string{"nocc", "swcc", "spm"} {
 		backend := backend
 		b.Run(backend, func(b *testing.B) {
-			runApp(b, func() workloads.App {
-				a := workloads.DefaultMotionEst()
-				a.BlocksX, a.BlocksY = 4, 2
-				return a
-			}, 8, backend)
+			runSim(b, "motionest", backend, 8, true)
 		})
 	}
 }
@@ -207,11 +206,7 @@ func BenchmarkAblationRelease(b *testing.B) {
 	for _, backend := range []string{"swcc", "swcc-lazy"} {
 		backend := backend
 		b.Run(backend, func(b *testing.B) {
-			runApp(b, func() workloads.App {
-				a := workloads.DefaultReacquire()
-				a.Iters = 32
-				return a
-			}, 8, backend)
+			runSim(b, "reacquire", backend, 8, true)
 		})
 	}
 }
@@ -319,11 +314,7 @@ func BenchmarkExtStencil(b *testing.B) {
 	for _, backend := range []string{"swcc", "dsm"} {
 		backend := backend
 		b.Run(backend, func(b *testing.B) {
-			runApp(b, func() workloads.App {
-				a := workloads.DefaultStencil()
-				a.Iters = 4
-				return a
-			}, 8, backend)
+			runSim(b, "stencil", backend, 8, true)
 		})
 	}
 }

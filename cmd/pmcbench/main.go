@@ -1,0 +1,180 @@
+// Command pmcbench is the continuous-benchmarking driver: it runs a
+// declarative benchmark suite across the simulator, the litmus engines
+// and the fuzzer, serializes the measurements to the versioned BENCH.json
+// schema, and diffs two such reports to gate perf regressions.
+//
+// Usage:
+//
+//	pmcbench -list                          list suites and their entries
+//	pmcbench -suite ci -reps 3 -json BENCH.json
+//	pmcbench -suite full -cpuprofile cpu.pprof -memprofile mem.pprof
+//	pmcbench -compare BENCH_baseline.json BENCH.json -threshold 10%
+//
+// Compare exits 0 when clean and 1 when gated: a host-time/alloc
+// regression past the threshold, a missing entry or metric, or any drift
+// in an exact (deterministic) metric such as sim-cycles — exact drift in
+// either direction means the measured computation changed and the
+// committed baseline must be refreshed deliberately. Usage errors exit 2.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+
+	"pmc"
+	"pmc/internal/cli"
+)
+
+func main() {
+	var (
+		list       = flag.Bool("list", false, "list benchmark suites and entries")
+		suite      = flag.String("suite", "", "suite to run: "+fmt.Sprint(pmc.BenchSuites()))
+		reps       = flag.Int("reps", 0, "timed repetitions per entry (0 = 5)")
+		jsonOut    = flag.String("json", "", `write the BENCH.json report to this file ("-" = stdout)`)
+		quiet      = flag.Bool("q", false, "suppress per-entry progress lines")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the suite run to this file")
+		memProfile = flag.String("memprofile", "", "write an allocation profile of the suite run to this file")
+
+		compare   = flag.String("compare", "", "baseline BENCH.json to compare against; the candidate report is the positional argument")
+		threshold = flag.String("threshold", "10%", `with -compare: relative host-metric noise tolerance ("10%" or "0.1")`)
+	)
+	flag.Parse()
+	// flag stops at the first positional argument, so the documented
+	// shape "-compare old.json new.json -threshold 10%" leaves trailing
+	// flags unparsed; re-parse them, collecting the positionals.
+	args := flag.Args()
+	var positional []string
+	for len(args) > 0 {
+		positional = append(positional, args[0])
+		flag.CommandLine.Parse(args[1:])
+		args = flag.CommandLine.Args()
+	}
+
+	switch {
+	case *list:
+		rejectPositional(positional)
+		for _, name := range pmc.BenchSuites() {
+			spec, err := pmc.BenchSuite(name)
+			if err != nil {
+				fail(err)
+			}
+			fmt.Printf("suite %s (%d entries):\n", name, len(spec.Entries))
+			for _, e := range spec.Entries {
+				fmt.Printf("  %s\n", e.Name)
+			}
+		}
+		return
+	case *compare != "":
+		if len(positional) != 1 {
+			fail(usagef("-compare needs exactly one candidate report argument, got %d", len(positional)))
+		}
+		thr, err := pmc.BenchParseThreshold(*threshold)
+		if err != nil {
+			fail(cli.UsageError{Err: err})
+		}
+		if err := runCompare(*compare, positional[0], thr); err != nil {
+			fail(err)
+		}
+		return
+	case *suite != "":
+		rejectPositional(positional)
+		if err := runSuite(*suite, *reps, *jsonOut, *cpuProfile, *memProfile, *quiet); err != nil {
+			fail(err)
+		}
+		return
+	}
+	flag.Usage()
+	os.Exit(2)
+}
+
+// rejectPositional guards the modes that take no positional arguments, so
+// a mistyped invocation (e.g. "-suite ci BENCH.json" without -json) fails
+// loudly instead of silently discarding the argument.
+func rejectPositional(positional []string) {
+	if len(positional) > 0 {
+		fail(usagef("unexpected argument %q (only -compare takes a positional report path)", positional[0]))
+	}
+}
+
+// usagef marks a bad flag value; fail prints the usage and exits 2 for
+// those, 1 for runtime failures — a benchmark error, a gated comparison
+// (the shared pmc command convention).
+func usagef(format string, args ...any) error { return cli.Usagef(format, args...) }
+
+func fail(err error) { cli.Fail("pmcbench", err) }
+
+func runSuite(name string, reps int, jsonOut, cpuProfile, memProfile string, quiet bool) error {
+	spec, err := pmc.BenchSuite(name)
+	if err != nil {
+		return cli.UsageError{Err: err}
+	}
+	spec.Reps = reps
+	if !quiet {
+		spec.Progress = os.Stderr
+	}
+	if cpuProfile != "" {
+		f, err := os.Create(cpuProfile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	report, err := pmc.BenchRun(spec)
+	if err != nil {
+		return err
+	}
+	if memProfile != "" {
+		f, err := os.Create(memProfile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+			return err
+		}
+	}
+	if jsonOut == "" || jsonOut == "-" {
+		return report.WriteJSON(os.Stdout)
+	}
+	f, err := os.Create(jsonOut)
+	if err != nil {
+		return err
+	}
+	if err := report.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d entries to %s\n", len(report.Entries), jsonOut)
+	return nil
+}
+
+func runCompare(basePath, candPath string, threshold float64) error {
+	base, err := pmc.BenchLoadReport(basePath)
+	if err != nil {
+		return err
+	}
+	cand, err := pmc.BenchLoadReport(candPath)
+	if err != nil {
+		return err
+	}
+	cmp, err := pmc.BenchCompare(base, cand, threshold)
+	if err != nil {
+		return err
+	}
+	fmt.Print(cmp)
+	if !cmp.Ok() {
+		return fmt.Errorf("%d gating failures vs %s", len(cmp.Failures()), basePath)
+	}
+	return nil
+}

@@ -29,7 +29,15 @@ import (
 	"strings"
 
 	"pmc"
+	"pmc/internal/cli"
 )
+
+// usagef marks a bad flag value; fail prints the usage and exits 2 for
+// those, 1 for runtime failures — an exploration error, a campaign that
+// found violations (the shared pmc command convention).
+func usagef(format string, args ...any) error { return cli.Usagef(format, args...) }
+
+func fail(err error) { cli.Fail("pmclitmus", err) }
 
 type engineOpts struct {
 	workers   int
@@ -60,7 +68,7 @@ func explore(p pmc.LitmusProgram, o engineOpts) error {
 func runFuzz(seed int64, n int, mode, backends, fault string, shrink bool, runs, workers, maxStates int) error {
 	m, err := pmc.ParseFuzzMode(mode)
 	if err != nil {
-		return err
+		return usagef("bad -mode: %v", err)
 	}
 	cfg := pmc.FuzzConfig{
 		Seed:      seed,
@@ -74,10 +82,15 @@ func runFuzz(seed int64, n int, mode, backends, fault string, shrink bool, runs,
 	}
 	if backends != "" {
 		cfg.Backends = strings.Split(backends, ",")
+		for _, b := range cfg.Backends {
+			if _, err := pmc.BackendByName(b); err != nil {
+				return usagef("bad -fuzzbackends entry: %v", err)
+			}
+		}
 	}
 	fs, err := pmc.ParseFaultSet(fault)
 	if err != nil {
-		return err
+		return usagef("bad -fault: %v", err)
 	}
 	if fs.Enabled() {
 		fmt.Printf("injecting fault %q into every checked backend\n", fs)
@@ -126,8 +139,7 @@ func main() {
 	switch {
 	case *doFuzz:
 		if err := runFuzz(*seed, *n, *mode, *backends, *fault, *shrink, *runs, *workers, *maxStates); err != nil {
-			fmt.Fprintln(os.Stderr, "pmclitmus:", err)
-			os.Exit(1)
+			fail(err)
 		}
 		return
 	case *table1:
@@ -142,20 +154,17 @@ func main() {
 	case *all:
 		for _, p := range pmc.LitmusCatalog() {
 			if err := explore(p, opts); err != nil {
-				fmt.Fprintln(os.Stderr, "pmclitmus:", err)
-				os.Exit(1)
+				fail(err)
 			}
 		}
 		return
 	case *prog != "":
 		p, ok := pmc.LitmusByName(*prog)
 		if !ok {
-			fmt.Fprintf(os.Stderr, "pmclitmus: unknown program %q\n", *prog)
-			os.Exit(1)
+			fail(usagef("unknown program %q (see -list)", *prog))
 		}
 		if err := explore(p, opts); err != nil {
-			fmt.Fprintln(os.Stderr, "pmclitmus:", err)
-			os.Exit(1)
+			fail(err)
 		}
 		return
 	}

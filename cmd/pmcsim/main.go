@@ -21,7 +21,14 @@ import (
 	"strings"
 
 	"pmc"
+	"pmc/internal/cli"
 )
+
+// usagef marks a bad flag value; fail prints the usage and exits 2 for
+// those, 1 for runtime failures (the shared pmc command convention).
+func usagef(format string, args ...any) error { return cli.Usagef(format, args...) }
+
+func fail(err error) { cli.Fail("pmcsim", err) }
 
 func main() {
 	var (
@@ -57,28 +64,33 @@ func main() {
 		return
 	case *sweepApps != "":
 		if err := runSweep(*sweepApps, *backends, *tileList, *topo, *scale, *parallel, *jsonOut, *csvOut); err != nil {
-			fmt.Fprintln(os.Stderr, "pmcsim:", err)
-			os.Exit(1)
+			fail(err)
 		}
 		return
 	case *runApp != "":
 		if err := runWorkload(*runApp, *backend, *tiles, *traceOut); err != nil {
-			fmt.Fprintln(os.Stderr, "pmcsim:", err)
-			os.Exit(1)
+			fail(err)
 		}
 		return
 	case *all:
+		if err := checkScale(*scale); err != nil {
+			fail(err)
+		}
 		opts := pmc.ExpOptions{Tiles: *tiles, Scale: *scale, Workers: *parallel}
 		if err := pmc.RunAllExperiments(os.Stdout, opts); err != nil {
-			fmt.Fprintln(os.Stderr, "pmcsim:", err)
-			os.Exit(1)
+			fail(err)
 		}
 		return
 	case *expID != "":
+		if err := checkScale(*scale); err != nil {
+			fail(err)
+		}
+		if !knownExperiment(*expID) {
+			fail(usagef("unknown experiment %q (see -list)", *expID))
+		}
 		opts := pmc.ExpOptions{Tiles: *tiles, Scale: *scale, Workers: *parallel}
 		if err := pmc.RunExperiment(os.Stdout, *expID, opts); err != nil {
-			fmt.Fprintln(os.Stderr, "pmcsim:", err)
-			os.Exit(1)
+			fail(err)
 		}
 		return
 	}
@@ -86,13 +98,30 @@ func main() {
 	os.Exit(2)
 }
 
+// checkScale validates the -scale flag value.
+func checkScale(scale string) error {
+	switch scale {
+	case "", "small", "full":
+		return nil
+	}
+	return usagef(`unknown -scale %q (valid: small, full)`, scale)
+}
+
+// knownExperiment reports whether id names a registered experiment.
+func knownExperiment(id string) bool {
+	for _, e := range pmc.Experiments() {
+		if e.ID == id {
+			return true
+		}
+	}
+	return false
+}
+
 // runSweep expands the flag grid into a SweepSpec, runs it, and emits the
 // requested tables.
 func runSweep(apps, backends, tileList, topo, scale string, parallel int, jsonOut, csvOut string) error {
-	switch scale {
-	case "", "small", "full":
-	default:
-		return fmt.Errorf(`unknown scale %q (valid: small, full)`, scale)
+	if err := checkScale(scale); err != nil {
+		return err
 	}
 	small := scale == "small"
 
@@ -101,6 +130,16 @@ func runSweep(apps, backends, tileList, topo, scale string, parallel int, jsonOu
 		apps = "radiosity,raytrace,volrend"
 	case "all":
 		apps = strings.Join(pmc.AppNames(), ",")
+	}
+	for _, a := range splitList(apps) {
+		if _, ok := pmc.AppByName(a); !ok {
+			return usagef("bad -sweep entry %q (have %s)", a, strings.Join(pmc.AppNames(), ", "))
+		}
+	}
+	for _, b := range splitList(backends) {
+		if _, err := pmc.BackendByName(b); err != nil {
+			return usagef("bad -backends entry: %v", err)
+		}
 	}
 	spec := pmc.SweepSpec{
 		Apps:     splitList(apps),
@@ -117,7 +156,7 @@ func runSweep(apps, backends, tileList, topo, scale string, parallel int, jsonOu
 	for _, s := range strings.Split(tileList, ",") {
 		t, err := strconv.Atoi(strings.TrimSpace(s))
 		if err != nil {
-			return fmt.Errorf("bad -tilelist entry %q: %w", s, err)
+			return usagef("bad -tilelist entry %q: %v", s, err)
 		}
 		spec.Tiles = append(spec.Tiles, t)
 	}
@@ -127,7 +166,7 @@ func runSweep(apps, backends, tileList, topo, scale string, parallel int, jsonOu
 	default:
 		tp, err := pmc.ParseTopology(topo)
 		if err != nil {
-			return fmt.Errorf(`bad -topo %q (valid: ring, mesh, both)`, topo)
+			return usagef(`bad -topo %q (valid: ring, mesh, both)`, topo)
 		}
 		spec.Topos = []pmc.NoCTopology{tp}
 	}
@@ -199,7 +238,10 @@ func emit(path string, write func(w io.Writer) error) error {
 func runWorkload(name, backend string, tiles int, traceOut string) error {
 	app, ok := pmc.AppByName(name)
 	if !ok {
-		return fmt.Errorf("unknown workload %q (have %s)", name, strings.Join(pmc.AppNames(), ", "))
+		return usagef("unknown workload %q (have %s)", name, strings.Join(pmc.AppNames(), ", "))
+	}
+	if _, err := pmc.BackendByName(backend); err != nil {
+		return usagef("bad -backend: %v", err)
 	}
 	cfg := pmc.DefaultConfig()
 	if tiles > 0 {

@@ -51,13 +51,21 @@ func NewExecution() *Execution {
 	}
 }
 
-// Clone returns a deep copy of the execution that can grow independently —
-// the litmus explorer branches the state space on it. Op values are shared
-// (they are immutable once issued).
+// Clone returns a copy of the execution that can grow independently — the
+// litmus explorer branches the state space on it. Op values are shared
+// (they are immutable once issued), and so are the backing arrays of the
+// index lists and edge lists: the copy's slice headers are capacity-
+// clipped, so an append through the clone always reallocates instead of
+// writing into shared backing, and an in-place append by the original
+// lands beyond every clipped header's capacity. List contents below the
+// clip point are never mutated by either side, which makes sharing safe
+// across goroutines too. This is what keeps state branching cheap: a
+// clone costs one header copy per structure instead of a deep copy of
+// every index list.
 func (e *Execution) Clone() *Execution {
 	c := &Execution{
-		locNames:   append([]string(nil), e.locNames...),
-		ops:        append([]*Op(nil), e.ops...),
+		locNames:   clip(e.locNames),
+		ops:        clip(e.ops),
 		out:        make([][]Edge, len(e.out)),
 		in:         make([][]Edge, len(e.in)),
 		readsPL:    clonePLMap(e.readsPL),
@@ -74,8 +82,8 @@ func (e *Execution) Clone() *Execution {
 		initOf:     make(map[Loc]int, len(e.initOf)),
 	}
 	for i := range e.out {
-		c.out[i] = append([]Edge(nil), e.out[i]...)
-		c.in[i] = append([]Edge(nil), e.in[i]...)
+		c.out[i] = clip(e.out[i])
+		c.in[i] = clip(e.in[i])
 	}
 	for k, v := range e.initOf {
 		c.initOf[k] = v
@@ -83,10 +91,14 @@ func (e *Execution) Clone() *Execution {
 	return c
 }
 
+// clip returns s with its capacity clipped to its length: a header-only
+// copy whose backing array is shared but can never be appended into.
+func clip[S ~[]E, E any](s S) S { return s[:len(s):len(s)] }
+
 func clonePLMap(m map[procLoc][]int) map[procLoc][]int {
 	c := make(map[procLoc][]int, len(m))
 	for k, v := range m {
-		c[k] = append([]int(nil), v...)
+		c[k] = clip(v)
 	}
 	return c
 }
@@ -94,7 +106,7 @@ func clonePLMap(m map[procLoc][]int) map[procLoc][]int {
 func cloneLocMap(m map[Loc][]int) map[Loc][]int {
 	c := make(map[Loc][]int, len(m))
 	for k, v := range m {
-		c[k] = append([]int(nil), v...)
+		c[k] = clip(v)
 	}
 	return c
 }
@@ -102,7 +114,7 @@ func cloneLocMap(m map[Loc][]int) map[Loc][]int {
 func cloneProcMap(m map[ProcID][]int) map[ProcID][]int {
 	c := make(map[ProcID][]int, len(m))
 	for k, v := range m {
-		c[k] = append([]int(nil), v...)
+		c[k] = clip(v)
 	}
 	return c
 }

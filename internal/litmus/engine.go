@@ -128,7 +128,7 @@ func (g *engine) expandState(s *state) (outcome string, done bool, succs []*stat
 		}
 	}
 	if allDone {
-		return canonical(s.regs), true, nil, nil
+		return g.x.canonical(s.regs), true, nil, nil
 	}
 	for t := range g.x.prog.Threads {
 		ns, err := g.x.step(s, t)

@@ -2,7 +2,7 @@ package litmus
 
 import (
 	"math/bits"
-	"sort"
+	"slices"
 
 	"pmc/internal/core"
 )
@@ -58,31 +58,72 @@ func (h *fpHash) mixString(s string) {
 	}
 }
 
+// fpScratch holds the relabeling buffers of one fingerprint computation.
+// Fingerprinting runs once per explored state on the memoized engines, so
+// the buffers are pooled (per Explorer, shared by all workers) instead of
+// allocated per call.
+type fpScratch struct {
+	canon  []int
+	order  []int
+	counts []int
+	edges  []uint64
+}
+
+// growInts returns s with length n, reusing capacity when possible.
+func growInts(s []int, n int) []int {
+	if cap(s) < n {
+		return make([]int, n)
+	}
+	return s[:n]
+}
+
 // fingerprint computes the canonical hash of s.
 func (x *Explorer) fingerprint(s *state) fingerprint {
+	sc, _ := x.fpPool.Get().(*fpScratch)
+	if sc == nil {
+		sc = &fpScratch{}
+	}
+	defer x.fpPool.Put(sc)
+
 	ops := s.exec.Ops()
 	// canon[id] is the interleaving-invariant label of op id: init ops
 	// first (they are ops 0..NumLocs-1, identical in every state), then
-	// each thread's ops in program order.
-	canon := make([]int, len(ops))
-	order := make([]int, len(ops))
-	perProc := make([][]int, len(x.prog.Threads))
-	idx := 0
+	// each thread's ops in program order. Within one process issue order
+	// IS program order, so a counting pass places every op without
+	// building per-process lists: count ops per process, turn the counts
+	// into slot offsets (init ops first), then assign slots in one sweep.
+	canon := growInts(sc.canon, len(ops))
+	order := growInts(sc.order, len(ops))
+	counts := growInts(sc.counts, len(x.prog.Threads))
+	for i := range counts {
+		counts[i] = 0
+	}
+	numInit := 0
 	for _, op := range ops {
 		if op.Proc == core.InitProc {
-			canon[op.ID] = idx
-			order[idx] = op.ID
-			idx++
+			numInit++
 		} else {
-			perProc[op.Proc] = append(perProc[op.Proc], op.ID)
+			counts[op.Proc]++
 		}
 	}
-	for _, ids := range perProc {
-		for _, id := range ids {
-			canon[id] = idx
-			order[idx] = id
-			idx++
+	off := numInit
+	for t := range counts {
+		c := counts[t]
+		counts[t] = off
+		off += c
+	}
+	initIdx := 0
+	for _, op := range ops {
+		var slot int
+		if op.Proc == core.InitProc {
+			slot = initIdx
+			initIdx++
+		} else {
+			slot = counts[op.Proc]
+			counts[op.Proc]++
 		}
+		canon[op.ID] = slot
+		order[slot] = op.ID
 	}
 
 	h := newFpHash()
@@ -102,13 +143,13 @@ func (x *Explorer) fingerprint(s *state) fingerprint {
 	}
 	// Edges, relabeled and sorted. Op counts in litmus explorations are
 	// tiny (< 2²⁰), so an edge packs into one uint64.
-	var edges []uint64
+	edges := sc.edges[:0]
 	for id := range ops {
 		for _, ed := range s.exec.Out(id) {
 			edges = append(edges, uint64(canon[ed.From])<<34|uint64(canon[ed.To])<<4|uint64(ed.Ord))
 		}
 	}
-	sort.Slice(edges, func(i, j int) bool { return edges[i] < edges[j] })
+	slices.Sort(edges)
 	h.mixInt(len(edges))
 	for _, e := range edges {
 		h.mix(e)
@@ -120,24 +161,24 @@ func (x *Explorer) fingerprint(s *state) fingerprint {
 	for _, holder := range s.lockHolder {
 		h.mixInt(holder)
 	}
-	for _, lr := range s.lastRead {
-		for _, id := range lr {
-			if id < 0 {
-				h.mixInt(-1)
-			} else {
-				h.mixInt(canon[id])
-			}
+	for _, id := range s.lastRead {
+		if id < 0 {
+			h.mixInt(-1)
+		} else {
+			h.mixInt(canon[id])
 		}
 	}
-	h.mixInt(len(s.regs))
-	regNames := make([]string, 0, len(s.regs))
-	for name := range s.regs {
-		regNames = append(regNames, name)
+	// Registers: the file is indexed by regOrder slot, so position
+	// identifies the register and only presence and value need mixing.
+	for _, r := range s.regs {
+		if r.Set {
+			h.mix(1)
+			h.mix(uint64(r.Val))
+		} else {
+			h.mix(0)
+		}
 	}
-	sort.Strings(regNames)
-	for _, name := range regNames {
-		h.mixString(name)
-		h.mix(uint64(s.regs[name]))
-	}
+
+	sc.canon, sc.order, sc.counts, sc.edges = canon, order, counts, edges
 	return fingerprint{hi: h.hi, lo: h.lo}
 }

@@ -25,7 +25,9 @@ import (
 	"fmt"
 	"runtime"
 	"sort"
+	"strconv"
 	"strings"
+	"sync"
 
 	"pmc/internal/core"
 )
@@ -150,32 +152,36 @@ func (r *Result) String() string {
 	return b.String()
 }
 
-// state is one node of the exploration tree.
+// state is one node of the exploration tree. Its layout is flat — one
+// backing array per field, no nested slices or maps — because clone runs
+// once per exploration step and is the engine's hottest allocation site.
 type state struct {
 	exec *core.Execution
 	pcs  []int
 	// lockHolder[loc] = thread index holding it, or -1.
 	lockHolder []int
-	// lastRead[thread][loc] = op ID of the write last read-from, or -1.
-	lastRead [][]int
-	regs     map[string]core.Value
+	// lastRead[thread*numLocs+loc] = op ID of the write last read-from,
+	// or -1.
+	lastRead []int
+	// regs is the register file, indexed by the Explorer's regOrder
+	// position (regIdx); Set distinguishes "never written" from zero.
+	regs []regVal
+}
+
+// regVal is one register slot.
+type regVal struct {
+	Val core.Value
+	Set bool
 }
 
 func (s *state) clone() *state {
-	c := &state{
+	return &state{
 		exec:       s.exec.Clone(),
 		pcs:        append([]int(nil), s.pcs...),
 		lockHolder: append([]int(nil), s.lockHolder...),
-		lastRead:   make([][]int, len(s.lastRead)),
-		regs:       make(map[string]core.Value, len(s.regs)),
+		lastRead:   append([]int(nil), s.lastRead...),
+		regs:       append([]regVal(nil), s.regs...),
 	}
-	for i := range s.lastRead {
-		c.lastRead[i] = append([]int(nil), s.lastRead[i]...)
-	}
-	for k, v := range s.regs {
-		c.regs[k] = v
-	}
-	return c
 }
 
 // Explorer runs exhaustive exploration of a program.
@@ -188,6 +194,14 @@ func (s *state) clone() *state {
 type Explorer struct {
 	prog   Program
 	locIdx map[string]core.Loc
+	// regOrder is the program's registers sorted by name, fixed at Run
+	// start; regIdx maps a register name to its regOrder slot. Register
+	// state lives in a flat per-state file indexed by slot.
+	regOrder []string
+	regIdx   map[string]int
+	// fpPool recycles fingerprint scratch buffers across states and
+	// workers.
+	fpPool sync.Pool
 	// MaxStates aborts pathological explorations. An exploration that
 	// completes using exactly MaxStates states succeeds; the budget
 	// error is returned only when work remained beyond it.
@@ -258,21 +272,34 @@ func (x *Explorer) Run() (*Result, error) {
 	if err := x.validate(); err != nil {
 		return nil, err
 	}
+	x.regOrder = x.regOrder[:0]
+	x.regIdx = make(map[string]int)
+	for _, th := range x.prog.Threads {
+		for _, in := range th {
+			if in.Reg != "" {
+				if _, ok := x.regIdx[in.Reg]; !ok {
+					x.regIdx[in.Reg] = -1 // slot assigned after the sort
+					x.regOrder = append(x.regOrder, in.Reg)
+				}
+			}
+		}
+	}
+	sort.Strings(x.regOrder)
+	for i, name := range x.regOrder {
+		x.regIdx[name] = i
+	}
 	s := &state{
 		exec:       exec,
 		pcs:        make([]int, len(x.prog.Threads)),
 		lockHolder: make([]int, len(x.prog.Locs)),
-		lastRead:   make([][]int, len(x.prog.Threads)),
-		regs:       make(map[string]core.Value),
+		lastRead:   make([]int, len(x.prog.Threads)*len(x.prog.Locs)),
+		regs:       make([]regVal, len(x.regOrder)),
 	}
 	for i := range s.lockHolder {
 		s.lockHolder[i] = -1
 	}
 	for i := range s.lastRead {
-		s.lastRead[i] = make([]int, len(x.prog.Locs))
-		for j := range s.lastRead[i] {
-			s.lastRead[i][j] = -1
-		}
+		s.lastRead[i] = -1
 	}
 	workers := x.Workers
 	if workers <= 0 {
@@ -308,7 +335,7 @@ func (x *Explorer) Run() (*Result, error) {
 // no clone is taken.
 func (x *Explorer) readCandidates(s *state, t int, loc core.Loc) []int {
 	cands := s.exec.ReadableAt(core.ProcID(t), loc)
-	last := s.lastRead[t][loc]
+	last := s.lastRead[t*len(x.prog.Locs)+int(loc)]
 	var out []int
 	for _, b := range cands {
 		// Monotonicity: never read a write that is strictly before
@@ -388,9 +415,9 @@ func (x *Explorer) step(s *state, t int) ([]*state, error) {
 			}
 			n := s.clone()
 			n.exec.Read(p, loc, val)
-			n.lastRead[t][loc] = b
+			n.lastRead[t*len(x.prog.Locs)+int(loc)] = b
 			if in.Reg != "" {
-				n.regs[in.Reg] = val
+				n.regs[x.regIdx[in.Reg]] = regVal{Val: val, Set: true}
 			}
 			n.pcs[t]++
 			succs = append(succs, n)
@@ -400,19 +427,24 @@ func (x *Explorer) step(s *state, t int) ([]*state, error) {
 	return nil, fmt.Errorf("litmus %s: unknown instruction kind %d", x.prog.Name, in.Kind)
 }
 
-// canonical renders a register assignment deterministically.
-func canonical(regs map[string]core.Value) string {
-	if len(regs) == 0 {
+// canonical renders a register assignment deterministically. regOrder is
+// sorted by name, so walking the register file in slot order yields the
+// same "r1=42 r2=0" form the map-based renderer produced.
+func (x *Explorer) canonical(regs []regVal) string {
+	var b strings.Builder
+	for i, r := range regs {
+		if !r.Set {
+			continue
+		}
+		if b.Len() > 0 {
+			b.WriteByte(' ')
+		}
+		b.WriteString(x.regOrder[i])
+		b.WriteByte('=')
+		b.WriteString(strconv.FormatUint(uint64(r.Val), 10))
+	}
+	if b.Len() == 0 {
 		return "(no observations)"
 	}
-	keys := make([]string, 0, len(regs))
-	for k := range regs {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	parts := make([]string, len(keys))
-	for i, k := range keys {
-		parts[i] = fmt.Sprintf("%s=%d", k, regs[k])
-	}
-	return strings.Join(parts, " ")
+	return b.String()
 }

@@ -1,0 +1,103 @@
+package perf
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Builtin suites. "ci" is small enough to run with repetitions inside a
+// CI job yet still crosses every layer: the three SPLASH substitutes and
+// the structured workloads at CI app sizes across the four backends, the
+// three litmus engine modes on cataloged programs, and a seeded fuzz
+// campaign. "full" is the paper-scale counterpart for local trajectory
+// measurements.
+
+func simE(name, app, backend string, tiles int, topo string, small bool) Entry {
+	return Entry{Name: name, Sim: &SimBench{App: app, Backend: backend, Tiles: tiles, Topo: topo, Small: small}}
+}
+
+func lit(name, prog string, workers int, memoize bool) Entry {
+	return Entry{Name: name, Litmus: &LitmusBench{Prog: prog, Workers: workers, Memoize: memoize}}
+}
+
+func ciSuite() []Entry {
+	var es []Entry
+	// Sim: the Fig. 8 SPLASH substitutes on the coherence backends, the
+	// Fig. 9 FIFO on DSM under both topologies, and the Fig. 10 motion
+	// estimator on scratch-pad staging — all at CI app sizes, 8 tiles.
+	for _, app := range []string{"radiosity", "raytrace", "volrend"} {
+		for _, b := range []string{"nocc", "swcc"} {
+			es = append(es, simE("sim/"+app+"/"+b+"/8t", app, b, 8, "", true))
+		}
+	}
+	es = append(es,
+		simE("sim/raytrace/dsm/8t", "raytrace", "dsm", 8, "", true),
+		simE("sim/mfifo/dsm/8t/ring", "mfifo", "dsm", 8, "ring", true),
+		simE("sim/mfifo/dsm/8t/mesh", "mfifo", "dsm", 8, "mesh", true),
+		simE("sim/motionest/spm/8t", "motionest", "spm", 8, "", true),
+		simE("sim/msgpass/swcc/4t", "msgpass", "swcc", 4, "", true),
+	)
+	// Litmus: the three engine modes on sb-drf (tree is the reference
+	// semantics), the annotated Fig. 5 program, and the state-collapse
+	// stress program that only the memoized engines can finish.
+	es = append(es,
+		lit("litmus/sb-drf/tree", "sb-drf", 1, false),
+		lit("litmus/sb-drf/memo", "sb-drf", 1, true),
+		lit("litmus/sb-drf/par", "sb-drf", 0, true),
+		lit("litmus/fig5-annotated/memo", "fig5-annotated", 1, true),
+		lit("litmus/stress-independent/par", "stress-independent", 0, true),
+	)
+	// Fuzz: a short seeded differential campaign over all four backends.
+	es = append(es, Entry{Name: "fuzz/mixed/seed1/n50", Fuzz: &FuzzBench{Seed: 1, N: 50, Mode: "mixed", Runs: 2}})
+	return es
+}
+
+func fullSuite() []Entry {
+	var es []Entry
+	// Paper-scale sims: the Fig. 8 comparison on the evaluation system.
+	for _, app := range []string{"radiosity", "raytrace", "volrend"} {
+		for _, b := range []string{"nocc", "swcc"} {
+			es = append(es, simE("sim/"+app+"/"+b+"/32t", app, b, 32, "", false))
+		}
+	}
+	for _, b := range []string{"nocc", "swcc", "dsm", "spm"} {
+		es = append(es, simE("sim/mfifo/"+b+"/32t", "mfifo", b, 32, "", false))
+	}
+	es = append(es,
+		simE("sim/motionest/spm/32t", "motionest", "spm", 32, "", false),
+		simE("sim/mfifo/dsm/16t/mesh", "mfifo", "dsm", 16, "mesh", false),
+	)
+	es = append(es,
+		lit("litmus/wrc-drf/tree", "wrc-drf", 1, false),
+		lit("litmus/wrc-drf/memo", "wrc-drf", 1, true),
+		lit("litmus/wrc-drf/par", "wrc-drf", 0, true),
+		lit("litmus/iriw-3t/memo", "iriw-3t", 1, true),
+		lit("litmus/stress-independent/par", "stress-independent", 0, true),
+	)
+	es = append(es, Entry{Name: "fuzz/mixed/seed1/n300", Fuzz: &FuzzBench{Seed: 1, N: 300, Mode: "mixed", Runs: 3}})
+	return es
+}
+
+var suites = map[string]func() []Entry{
+	"ci":   ciSuite,
+	"full": fullSuite,
+}
+
+// Suites lists the builtin suite names.
+func Suites() []string {
+	names := make([]string, 0, len(suites))
+	for n := range suites {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Suite returns a Spec for the named builtin suite.
+func Suite(name string) (Spec, error) {
+	mk, ok := suites[name]
+	if !ok {
+		return Spec{}, fmt.Errorf("perf: unknown suite %q (have %v)", name, Suites())
+	}
+	return Spec{Suite: name, Entries: mk()}, nil
+}

@@ -48,6 +48,7 @@ import (
 	"pmc/internal/fuzz"
 	"pmc/internal/litmus"
 	"pmc/internal/noc"
+	"pmc/internal/perf"
 	"pmc/internal/rt"
 	"pmc/internal/sim"
 	"pmc/internal/soc"
@@ -350,6 +351,57 @@ func ParseTopology(s string) (NoCTopology, error) { return noc.ParseTopology(s) 
 // ScaledApp is AppByName with an optional CI-sized configuration (the
 // "small" experiment scale).
 func ScaledApp(name string, small bool) (App, bool) { return workloads.Scaled(name, small) }
+
+// ---- Continuous benchmarking ----
+
+type (
+	// BenchSpec declares a benchmark run: a named suite of declarative
+	// entries spanning sim workloads, litmus exploration and fuzz
+	// campaigns, with repetition control.
+	BenchSpec = perf.Spec
+	// BenchEntry is one benchmark of a suite.
+	BenchEntry = perf.Entry
+	// BenchReport is a completed benchmark run — the versioned
+	// BENCH.json payload.
+	BenchReport = perf.Report
+	// BenchMeasurement is the measured result of one entry.
+	BenchMeasurement = perf.Measurement
+	// BenchMetric is one named measurement: exact (deterministic,
+	// compared exactly) or host (noisy, compared by threshold).
+	BenchMetric = perf.Metric
+	// BenchComparison is a report diff with per-metric classifications.
+	BenchComparison = perf.Comparison
+	// BenchDelta is the comparison of one metric of one entry.
+	BenchDelta = perf.Delta
+)
+
+// BenchSchema is the BENCH.json schema version.
+const BenchSchema = perf.Schema
+
+// BenchRun executes every entry of the suite and returns the aggregated
+// report: host ns/op, allocs/op and bytes/op (min/median/stddev over the
+// repetitions) plus the entry's exact metrics (sim-cycles, states,
+// campaign tallies), which must agree across repetitions.
+func BenchRun(spec BenchSpec) (*BenchReport, error) { return perf.Run(spec) }
+
+// BenchSuite returns the named builtin suite ("ci", "full").
+func BenchSuite(name string) (BenchSpec, error) { return perf.Suite(name) }
+
+// BenchSuites lists the builtin suite names.
+func BenchSuites() []string { return perf.Suites() }
+
+// BenchCompare diffs a candidate report against a baseline: exact metrics
+// must match exactly; host metrics regress only past the relative
+// threshold.
+func BenchCompare(base, cand *BenchReport, threshold float64) (*BenchComparison, error) {
+	return perf.Compare(base, cand, threshold)
+}
+
+// BenchLoadReport reads a BENCH.json file.
+func BenchLoadReport(path string) (*BenchReport, error) { return perf.LoadReport(path) }
+
+// BenchParseThreshold accepts "10%" or "0.1" forms.
+func BenchParseThreshold(s string) (float64, error) { return perf.ParseThreshold(s) }
 
 // Experiments returns every registered table/figure experiment.
 func Experiments() []Experiment { return exp.All() }
