@@ -1,0 +1,141 @@
+package pmc
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/printer"
+	"go/token"
+	"os"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// The exported-API golden test: api.txt is the committed listing of the
+// public pmc surface, and this test fails whenever the surface drifts
+// without the file being updated — making API redesigns (like the ranged
+// annotation API v2) explicit in review. Refresh deliberately with
+//
+//	go test -run TestExportedAPIGolden -update-api .
+
+var updateAPI = flag.Bool("update-api", false, "rewrite api.txt from the current exported surface")
+
+var spaceRE = regexp.MustCompile(`\s+`)
+
+// renderNode prints an AST node on one line.
+func renderNode(fset *token.FileSet, n ast.Node) string {
+	var buf bytes.Buffer
+	if err := printer.Fprint(&buf, fset, n); err != nil {
+		return fmt.Sprintf("<%v>", err)
+	}
+	return spaceRE.ReplaceAllString(buf.String(), " ")
+}
+
+// exportedAPI renders the package's exported declarations, one per line,
+// sorted. Function signatures are fully rendered (a parameter or result
+// change is API drift); types render their definition; vars and consts
+// render name and any explicit type (their values are implementation).
+func exportedAPI(t *testing.T) string {
+	t.Helper()
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, ".", func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, ok := pkgs["pmc"]
+	if !ok {
+		t.Fatalf("package pmc not found (have %v)", pkgs)
+	}
+	var lines []string
+	add := func(format string, args ...any) { lines = append(lines, fmt.Sprintf(format, args...)) }
+	for _, f := range pkg.Files {
+		for _, d := range f.Decls {
+			switch d := d.(type) {
+			case *ast.FuncDecl:
+				if d.Recv != nil || !d.Name.IsExported() {
+					continue
+				}
+				sig := renderNode(fset, d.Type)
+				add("func %s%s", d.Name.Name, strings.TrimPrefix(sig, "func"))
+			case *ast.GenDecl:
+				for _, spec := range d.Specs {
+					switch s := spec.(type) {
+					case *ast.TypeSpec:
+						if !s.Name.IsExported() {
+							continue
+						}
+						eq := ""
+						if s.Assign != token.NoPos {
+							eq = "= "
+						}
+						add("type %s %s%s", s.Name.Name, eq, renderNode(fset, s.Type))
+					case *ast.ValueSpec:
+						kind := "var"
+						if d.Tok == token.CONST {
+							kind = "const"
+						}
+						for _, name := range s.Names {
+							if !name.IsExported() {
+								continue
+							}
+							if s.Type != nil {
+								add("%s %s %s", kind, name.Name, renderNode(fset, s.Type))
+							} else {
+								add("%s %s", kind, name.Name)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	sort.Strings(lines)
+	return strings.Join(lines, "\n") + "\n"
+}
+
+func TestExportedAPIGolden(t *testing.T) {
+	got := exportedAPI(t)
+	if *updateAPI {
+		if err := os.WriteFile("api.txt", []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("api.txt rewritten (%d declarations)", strings.Count(got, "\n"))
+		return
+	}
+	want, err := os.ReadFile("api.txt")
+	if err != nil {
+		t.Fatalf("api.txt missing (%v); generate it with: go test -run TestExportedAPIGolden -update-api .", err)
+	}
+	if string(want) == got {
+		return
+	}
+	// Diff the two listings line by line for a readable failure.
+	wantSet := map[string]bool{}
+	for _, l := range strings.Split(strings.TrimRight(string(want), "\n"), "\n") {
+		wantSet[l] = true
+	}
+	gotSet := map[string]bool{}
+	for _, l := range strings.Split(strings.TrimRight(got, "\n"), "\n") {
+		gotSet[l] = true
+	}
+	var diff []string
+	for l := range gotSet {
+		if !wantSet[l] {
+			diff = append(diff, "+ "+l)
+		}
+	}
+	for l := range wantSet {
+		if !gotSet[l] {
+			diff = append(diff, "- "+l)
+		}
+	}
+	sort.Strings(diff)
+	t.Fatalf("exported API drifted from api.txt — if intentional, refresh with: go test -run TestExportedAPIGolden -update-api .\n%s",
+		strings.Join(diff, "\n"))
+}

@@ -65,15 +65,18 @@ func explore(p pmc.LitmusProgram, o engineOpts) error {
 	return nil
 }
 
-func runFuzz(seed int64, n int, mode, backends, fault string, shrink bool, runs, workers, maxStates int) error {
+func runFuzz(seed int64, n int, mode, backends, fault string, shrink bool, runs, workers, maxStates, maxBlock int) error {
 	m, err := pmc.ParseFuzzMode(mode)
 	if err != nil {
 		return usagef("bad -mode: %v", err)
 	}
+	if maxBlock < 1 {
+		return usagef("bad -maxblock %d: must be at least 1 (1 = word-only programs)", maxBlock)
+	}
 	cfg := pmc.FuzzConfig{
 		Seed:      seed,
 		N:         n,
-		Gen:       pmc.FuzzGenConfig{Mode: m},
+		Gen:       pmc.FuzzGenConfig{Mode: m, MaxBlockWords: maxBlock},
 		Runs:      runs,
 		Workers:   workers,
 		Shrink:    shrink,
@@ -132,13 +135,14 @@ func main() {
 		backends = flag.String("fuzzbackends", "", "fuzz: comma-separated backends (default: nocc,swcc,dsm,spm)")
 		fault    = flag.String("fault", "", "fuzz: inject a protocol fault (e.g. release-without-flush) into every backend")
 		runs     = flag.Int("runs", 3, "fuzz: perturbed simulator runs per program and backend")
+		maxBlock = flag.Int("maxblock", 4, "fuzz: max words of multi-word locations exercised by block reads/writes (1 = word-only)")
 	)
 	flag.Parse()
 	opts := engineOpts{workers: *workers, memoize: *memoize, maxStates: *maxStates, stats: *stats}
 
 	switch {
 	case *doFuzz:
-		if err := runFuzz(*seed, *n, *mode, *backends, *fault, *shrink, *runs, *workers, *maxStates); err != nil {
+		if err := runFuzz(*seed, *n, *mode, *backends, *fault, *shrink, *runs, *workers, *maxStates, *maxBlock); err != nil {
 			fail(err)
 		}
 		return

@@ -288,6 +288,107 @@ func (c *Cache) InvalidateLine(addr mem.Addr) {
 	c.stats.Invalidated++
 }
 
+// FillRange installs every missing line overlapping [addr, addr+size),
+// reading line data from the backing store, and returns the number of
+// lines filled plus the base addresses of any dirty victims that were
+// written back first. Resident lines are left untouched (each touched
+// line moves at most once per range). The caller charges the bus: one
+// burst transaction for the fills, one writeback per victim.
+func (c *Cache) FillRange(addr mem.Addr, size int) (fills int, wbs []mem.Addr) {
+	if size <= 0 {
+		return 0, nil
+	}
+	first := c.LineBase(addr)
+	last := c.LineBase(addr + mem.Addr(size-1))
+	for a := first; ; a += mem.Addr(c.cfg.LineSize) {
+		if l := c.lookup(a); l != nil {
+			c.stats.Hits++
+			c.touch(l)
+		} else {
+			c.stats.Misses++
+			l, tr := c.fill(a)
+			c.touch(l)
+			if tr.Writeback {
+				wbs = append(wbs, tr.WritebackAddr)
+			}
+			fills++
+		}
+		if a == last {
+			break
+		}
+	}
+	return fills, wbs
+}
+
+// ReadRange32 copies len(dst) words starting at addr out of resident
+// lines, without touching statistics or LRU state — the data phase of a
+// DMA-style range read whose cache transactions (one per line) were
+// already accounted by FillRange. It reports false without copying when
+// any covered line is absent (a range so large it evicted its own head);
+// the caller falls back to the per-word path.
+func (c *Cache) ReadRange32(addr mem.Addr, dst []uint32) bool {
+	for i := range dst {
+		a := addr + mem.Addr(4*i)
+		l := c.lookup(a)
+		if l == nil {
+			return false
+		}
+		off := uint32(a) & c.lineMask
+		d := l.data[off:]
+		dst[i] = uint32(d[0]) | uint32(d[1])<<8 | uint32(d[2])<<16 | uint32(d[3])<<24
+	}
+	return true
+}
+
+// WriteRange32 stores len(src) words starting at addr into resident
+// lines, marking them dirty, without touching statistics or LRU state —
+// the data phase of a DMA-style range write. It reports false before
+// writing anything when any covered line is absent.
+func (c *Cache) WriteRange32(addr mem.Addr, src []uint32) bool {
+	for i := range src {
+		if c.lookup(addr+mem.Addr(4*i)) == nil {
+			return false
+		}
+	}
+	for i, v := range src {
+		a := addr + mem.Addr(4*i)
+		l := c.lookup(a)
+		l.dirty = true
+		off := uint32(a) & c.lineMask
+		d := l.data[off:]
+		d[0] = byte(v)
+		d[1] = byte(v >> 8)
+		d[2] = byte(v >> 16)
+		d[3] = byte(v >> 24)
+	}
+	return true
+}
+
+// WriteLineFull installs a whole line's worth of data dirty without
+// fetching it from the backing store — the write-allocate fill is skipped
+// because every byte is about to be overwritten (the classic full-line
+// DMA-write optimization). src must be exactly one line and addr
+// line-aligned. The returned traffic reports only the victim writeback, if
+// any; there is never a fill.
+func (c *Cache) WriteLineFull(addr mem.Addr, src []byte) (tr Traffic) {
+	if len(src) != c.cfg.LineSize || addr != c.LineBase(addr) {
+		panic(fmt.Sprintf("cache: WriteLineFull(%#x, %d bytes) not a full aligned line", addr, len(src)))
+	}
+	l := c.lookup(addr)
+	if l == nil {
+		c.stats.Misses++
+		l, tr = c.victim(addr)
+		l.tag = c.tag(addr)
+		l.valid = true
+	} else {
+		c.stats.Hits++
+	}
+	c.touch(l)
+	l.dirty = true
+	copy(l.data, src)
+	return tr
+}
+
 // FlushRange flush-invalidates every line overlapping [addr, addr+size) and
 // returns the number of lines visited and written back. The per-line cost
 // (one flush instruction each, plus bus time per writeback) is charged by

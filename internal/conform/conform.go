@@ -195,6 +195,18 @@ func EffectiveProgram(p litmus.Program) litmus.Program {
 					)
 					continue
 				}
+			case litmus.IWriteBlock:
+				// A bare block write gets the same scope-plus-flush
+				// wrapper as a bare word write.
+				if !open[in.Loc] {
+					eff = append(eff,
+						litmus.Acquire(in.Loc),
+						litmus.WriteBlock(in.Loc, in.Val),
+						litmus.Flush(in.Loc),
+						litmus.Release(in.Loc),
+					)
+					continue
+				}
 			}
 			eff = append(eff, in)
 		}
@@ -229,7 +241,7 @@ func execute(prog litmus.Program, backend string, opt Options, seed uint32) (str
 	r := rt.New(sys, b)
 	objs := make(map[string]*rt.Object, len(prog.Locs))
 	for _, name := range prog.Locs {
-		objs[name] = r.Alloc(name, 4)
+		objs[name] = r.Alloc(name, 4*prog.WidthOf(name))
 	}
 	type reg struct {
 		name string
@@ -256,6 +268,28 @@ func execute(prog litmus.Program, backend string, opt Options, seed uint32) (str
 				switch in.Kind {
 				case litmus.IWrite:
 					c.Write32(objs[in.Loc], 0, uint32(in.Val))
+				case litmus.IWriteBlock:
+					w := prog.WidthOf(in.Loc)
+					buf := make([]uint32, w)
+					for k := range buf {
+						buf[k] = uint32(in.Val) + uint32(k)
+					}
+					c.WriteBlock(objs[in.Loc], 0, buf)
+				case litmus.IReadBlock:
+					w := prog.WidthOf(in.Loc)
+					buf := make([]uint32, w)
+					if open[in.Loc] {
+						c.ReadBlock(objs[in.Loc], 0, buf)
+					} else {
+						c.EntryRO(objs[in.Loc])
+						c.ReadBlock(objs[in.Loc], 0, buf)
+						c.ExitRO(objs[in.Loc])
+					}
+					if in.Reg != "" {
+						for k, v := range buf {
+							results <- reg{litmus.WordReg(in.Reg, k), v}
+						}
+					}
 				case litmus.IRead:
 					var v uint32
 					if open[in.Loc] {
@@ -310,13 +344,19 @@ func execute(prog litmus.Program, backend string, opt Options, seed uint32) (str
 	return canonical(regs), nil
 }
 
-// observationCount returns how many instructions can send a register
-// observation (each does so at most once per run).
+// observationCount returns how many register observations a run can send
+// (each observing instruction sends at most once per run; a block read
+// sends one observation per word of its location).
 func observationCount(p litmus.Program) int {
 	n := 0
 	for _, th := range p.Threads {
 		for _, in := range th {
-			if in.Reg != "" {
+			if in.Reg == "" {
+				continue
+			}
+			if in.Kind == litmus.IReadBlock {
+				n += p.WidthOf(in.Loc)
+			} else {
 				n++
 			}
 		}

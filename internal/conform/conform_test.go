@@ -14,7 +14,7 @@ func TestAllBackendsConformOnCatalog(t *testing.T) {
 	progs := []string{
 		"fig1-unsynchronized", "fig5-annotated", "fig5-no-acquire",
 		"fig5-scoped-fence", "sb-bare", "sb-drf", "corr", "corw", "cowr",
-		"mutex-counter", "lb", "iriw-3t",
+		"mutex-counter", "lb", "iriw-3t", "mp-block",
 	}
 	for _, backend := range rt.Backends {
 		backend := backend

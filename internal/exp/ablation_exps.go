@@ -46,6 +46,12 @@ func init() {
 		Paper: "a single acquire/release pair can contain multiple writes (Section IV-D)",
 		Run:   runAblationGranularity,
 	})
+	register(Experiment{
+		ID:    "bulk-ablation",
+		Title: "transfer granularity: v1 word loops vs v2 ranged block transfers",
+		Paper: "the runtime layer is block-oriented (staging, write sets, line flushes); the access API should be too",
+		Run:   runBulkAblation,
+	})
 }
 
 func runAblationLocks(w io.Writer, o Options) error {
@@ -157,6 +163,92 @@ func runAblationDCache(w io.Writer, o Options) error {
 	fmt.Fprintf(w, "%-22s %10d\n", "spm", res.Cycles)
 	fmt.Fprintln(w, "\ngrowing the cache does not close the gap: SWCC still serializes read-only")
 	fmt.Fprintln(w, "scopes on the object lock and re-fills after every exit_ro invalidation.")
+	return nil
+}
+
+// runBulkAblation sweeps the transfer granularity of the bulkcopy stream
+// kernel — 1 word (the v1 Read32/Write32 loop) up to whole-object ranged
+// transfers — across all four backends. Identical data movement at every
+// granularity (the grid-wide checksum assertion), different sim-cycles:
+// the block path must win on DSM and SPM, whose local-memory DMA overlaps
+// the read and write ports.
+func runBulkAblation(w io.Writer, o Options) error {
+	tiles := o.tiles(8)
+	grans := []int{1, 2, 4, 8, 16, 32, 64}
+	slotWords := 64
+	if !o.full() {
+		grans = []int{1, 4, 32}
+		slotWords = 32
+	}
+	backends := []string{"nocc", "swcc", "dsm", "spm"}
+	apps := make([]string, len(grans))
+	for i, g := range grans {
+		apps[i] = fmt.Sprintf("bulk-g%d", g)
+	}
+	spec := gridSpec(o, apps, backends, []int{tiles})
+	spec.Make = func(c sweep.Cell) (workloads.App, error) {
+		var g int
+		if _, err := fmt.Sscanf(c.App, "bulk-g%d", &g); err != nil {
+			return nil, fmt.Errorf("bulk-ablation: bad cell app %q: %w", c.App, err)
+		}
+		b := workloads.DefaultBulkCopy()
+		b.SlotWords = slotWords
+		if !o.full() {
+			b.Rounds = 2
+		}
+		b.Chunk = g
+		return b, nil
+	}
+	table, err := sweep.Run(spec)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "cycles by transfer granularity (words per operation), %d tiles, %d-word objects:\n\n", tiles, slotWords)
+	fmt.Fprintf(w, "%-10s", "gran")
+	for _, b := range backends {
+		fmt.Fprintf(w, " %10s", b)
+	}
+	fmt.Fprintln(w)
+	var checksum uint32
+	for i, g := range grans {
+		fmt.Fprintf(w, "%-10d", g)
+		for _, b := range backends {
+			r := table.Find(apps[i], b, tiles, noc.TopoRing)
+			if r == nil {
+				return fmt.Errorf("bulk-ablation: missing cell %s/%s", apps[i], b)
+			}
+			if r.Err != "" {
+				return fmt.Errorf("bulk-ablation: %s/%s: %s", apps[i], b, r.Err)
+			}
+			if i == 0 && b == backends[0] {
+				checksum = r.Checksum
+			} else if r.Checksum != checksum {
+				return fmt.Errorf("bulk-ablation: checksum diverged at %s/%s: %#x != %#x — a granularity changed the computation",
+					apps[i], b, r.Checksum, checksum)
+			}
+			fmt.Fprintf(w, " %10d", r.Cycles)
+		}
+		fmt.Fprintln(w)
+	}
+	// The acceptance assertion: whole-object transfers beat word loops on
+	// the local-memory backends.
+	wordApp, blockApp := apps[0], apps[len(apps)-1]
+	for _, b := range []string{"dsm", "spm"} {
+		word := table.Find(wordApp, b, tiles, noc.TopoRing)
+		block := table.Find(blockApp, b, tiles, noc.TopoRing)
+		if block.Cycles >= word.Cycles {
+			return fmt.Errorf("bulk-ablation: block transfers (%d cycles) do not beat word loops (%d) on %s",
+				block.Cycles, word.Cycles, b)
+		}
+		fmt.Fprintf(w, "\n%s: block transfers win %.1f%% over word loops", b,
+			100*(1-float64(block.Cycles)/float64(word.Cycles)))
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, "\nevery granularity moves identical data (checksums equal grid-wide); the cycle")
+	fmt.Fprintln(w, "deltas are pure transfer mechanics: burst line fills and full-line installs on")
+	fmt.Fprintln(w, "swcc, overlapped dual-port DMA on dsm/spm. spm's margin comes entirely from the")
+	fmt.Fprintln(w, "in-scope copies: entry/exit staging already moves the whole object as one burst")
+	fmt.Fprintln(w, "at every granularity, so it shrinks as scope overhead grows with scale.")
 	return nil
 }
 

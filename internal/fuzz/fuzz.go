@@ -167,9 +167,21 @@ func indent(s, pre string) string {
 	return strings.Join(lines, "\n") + "\n"
 }
 
-// Render prints a program as one line per thread, for violation reports.
+// Render prints a program as one line per thread (preceded by the widths
+// of any multi-word locations), for violation reports.
 func Render(p litmus.Program) string {
 	var b strings.Builder
+	if len(p.Widths) > 0 {
+		var wide []string
+		for _, loc := range p.Locs {
+			if w := p.WidthOf(loc); w > 1 {
+				wide = append(wide, fmt.Sprintf("%s[%d]", loc, w))
+			}
+		}
+		if len(wide) > 0 {
+			fmt.Fprintf(&b, "wide: %s\n", strings.Join(wide, " "))
+		}
+	}
 	for ti, th := range p.Threads {
 		fmt.Fprintf(&b, "T%d:", ti)
 		for _, in := range th {
@@ -202,6 +214,10 @@ func renderInstr(in litmus.Instr) string {
 			return fmt.Sprintf("%s=await(%s==%d)", in.Reg, in.Loc, in.Val)
 		}
 		return fmt.Sprintf("await(%s==%d)", in.Loc, in.Val)
+	case litmus.IReadBlock:
+		return fmt.Sprintf("%s=read_block(%s)", in.Reg, in.Loc)
+	case litmus.IWriteBlock:
+		return fmt.Sprintf("write_block(%s,%d..)", in.Loc, in.Val)
 	}
 	return fmt.Sprintf("instr(%d)", in.Kind)
 }

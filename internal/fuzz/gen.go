@@ -78,6 +78,11 @@ type GenConfig struct {
 	MaxInstrs int
 	// Mode selects the annotation discipline (default ModeMixed).
 	Mode Mode
+	// MaxBlockWords caps the width of multi-word data locations; wide
+	// locations are exercised through ranged block reads/writes
+	// (annotation API v2) alongside word accesses. 0 selects the
+	// default of 4; 1 generates word-only programs.
+	MaxBlockWords int
 }
 
 func (g GenConfig) withDefaults() GenConfig {
@@ -89,6 +94,9 @@ func (g GenConfig) withDefaults() GenConfig {
 	}
 	if g.MaxInstrs < 4 {
 		g.MaxInstrs = 8
+	}
+	if g.MaxBlockWords == 0 {
+		g.MaxBlockWords = 4
 	}
 	return g
 }
@@ -109,6 +117,9 @@ type genState struct {
 
 	nThreads int
 	dataLocs []string
+	// widths maps wide data locations to their word width (absent = 1);
+	// block operations are only emitted on wide locations.
+	widths   map[string]int
 	nextVal  map[string]core.Value // per-location distinct write values
 	nextReg  int
 	nextFlag int
@@ -149,12 +160,19 @@ func Generate(seed int64, cfg GenConfig) litmus.Program {
 	g := &genState{
 		rng:     rand.New(rand.NewSource(int64(splitmix64(uint64(seed))))),
 		cfg:     cfg,
+		widths:  make(map[string]int),
 		nextVal: make(map[string]core.Value),
 	}
 	g.nThreads = 2 + g.rng.Intn(cfg.MaxThreads-1)
 	nData := 1 + g.rng.Intn(cfg.MaxLocs)
 	for i := 0; i < nData; i++ {
-		g.dataLocs = append(g.dataLocs, fmt.Sprintf("X%d", i))
+		loc := fmt.Sprintf("X%d", i)
+		g.dataLocs = append(g.dataLocs, loc)
+		// About a third of data locations are multi-word, exercising the
+		// ranged path (block ops, whole-object scope locks) end to end.
+		if cfg.MaxBlockWords >= 2 && g.rng.Intn(3) == 0 {
+			g.widths[loc] = 2 + g.rng.Intn(cfg.MaxBlockWords-1)
+		}
 	}
 
 	threads := make([]litmus.Thread, g.nThreads)
@@ -175,6 +193,14 @@ func Generate(seed int64, cfg GenConfig) litmus.Program {
 			litmus.Acquire(loc), litmus.Read(loc, g.reg()), litmus.Release(loc))
 	}
 	p.Locs = usedLocs(p)
+	for _, loc := range p.Locs {
+		if w, ok := g.widths[loc]; ok {
+			if p.Widths == nil {
+				p.Widths = make(map[string]int)
+			}
+			p.Widths[loc] = w
+		}
+	}
 	return p
 }
 
@@ -236,11 +262,17 @@ func (g *genState) thread(ti int) litmus.Thread {
 				awaits++
 			}
 		case pick < 9 && g.racy:
-			// Bare top-level access: a write or a read, Fig. 1 style.
+			// Bare top-level access: a write or a read, Fig. 1 style —
+			// ranged on wide locations half the time.
 			loc := g.dataLoc()
-			if g.rng.Intn(2) == 0 {
+			switch wide := g.widths[loc] > 1 && g.rng.Intn(2) == 0; {
+			case wide && g.rng.Intn(2) == 0:
+				act = litmus.Thread{litmus.WriteBlock(loc, g.val(loc))}
+			case wide:
+				act = litmus.Thread{litmus.ReadBlock(loc, g.reg())}
+			case g.rng.Intn(2) == 0:
 				act = litmus.Thread{litmus.Write(loc, g.val(loc))}
-			} else {
+			default:
 				act = litmus.Thread{litmus.Read(loc, g.reg())}
 			}
 		default:
@@ -269,15 +301,22 @@ func (g *genState) thread(ti int) litmus.Thread {
 
 // criticalSection emits entry_x(L); 1-3 accesses of L; [fence;] exit_x(L).
 // Scopes are never nested and only touch their own location, which keeps
-// lock order trivially acyclic.
+// lock order trivially acyclic. On wide locations the accesses mix word
+// and block granularity, exercising the ranged path under the lock.
 func (g *genState) criticalSection(ti int) litmus.Thread {
 	loc := g.dataLoc()
 	th := litmus.Thread{litmus.Acquire(loc)}
 	n := 1 + g.rng.Intn(3)
 	for i := 0; i < n; i++ {
-		if g.rng.Intn(2) == 0 {
+		block := g.widths[loc] > 1 && g.rng.Intn(2) == 0
+		switch {
+		case block && g.rng.Intn(2) == 0:
+			th = append(th, litmus.WriteBlock(loc, g.val(loc)))
+		case block:
+			th = append(th, litmus.ReadBlock(loc, g.reg()))
+		case g.rng.Intn(2) == 0:
 			th = append(th, litmus.Write(loc, g.val(loc)))
-		} else {
+		default:
 			th = append(th, litmus.Read(loc, g.reg()))
 		}
 	}

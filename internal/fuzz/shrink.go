@@ -8,8 +8,8 @@ import (
 // Delta-debugging shrinker: given a program exhibiting a failure (decided
 // by an arbitrary repro predicate) it greedily minimizes the program while
 // the failure persists — whole threads first, then instructions (keeping
-// entry/exit pairs matched so candidates stay well-formed), then write
-// values — iterating to a fixpoint. Candidates that no longer fail, fail
+// entry/exit pairs matched so candidates stay well-formed), then location
+// widths, then write values — iterating to a fixpoint. Candidates that no longer fail, fail
 // to explore, or deadlock/livelock on the simulator simply do not
 // reproduce and are rejected by the predicate, so the shrinker needs no
 // structural knowledge beyond pair matching.
@@ -35,6 +35,22 @@ func Shrink(p litmus.Program, repro Repro) (litmus.Program, int) {
 	cur.Locs = usedLocs(cur)
 	if len(cur.Locs) == 0 {
 		cur.Locs = p.Locs // degenerate, keep explorable
+	}
+	if cur.Widths != nil {
+		for loc, w := range cur.Widths {
+			used := false
+			for _, l := range cur.Locs {
+				if l == loc {
+					used = true
+				}
+			}
+			if !used || w <= 1 {
+				delete(cur.Widths, loc)
+			}
+		}
+		if len(cur.Widths) == 0 {
+			cur.Widths = nil
+		}
 	}
 	return cur, steps
 }
@@ -62,7 +78,31 @@ func shrinkPass(cur litmus.Program, repro Repro) (litmus.Program, bool) {
 			}
 		}
 	}
-	// 3. Shrink write values to 1 (rewriting awaits of the same
+	// 3. Shrink wide locations: first all the way down to one word, then
+	// one word at a time (block instructions on a one-word location are
+	// the plain word operations after lowering).
+	for _, loc := range usedLocs(cur) {
+		w := cur.WidthOf(loc)
+		if w <= 1 {
+			continue
+		}
+		cands := []int{1}
+		if w > 2 {
+			cands = append(cands, w-1)
+		}
+		for _, nw := range cands {
+			cand := cloneProgram(cur)
+			if nw <= 1 {
+				delete(cand.Widths, loc)
+			} else {
+				cand.Widths[loc] = nw
+			}
+			if repro(cand) {
+				return cand, true
+			}
+		}
+	}
+	// 4. Shrink write values to 1 (rewriting awaits of the same
 	// location/value pair so they stay satisfiable).
 	for _, loc := range usedLocs(cur) {
 		for _, v := range writeValues(cur, loc) {
@@ -86,6 +126,12 @@ func cloneProgram(p litmus.Program) litmus.Program {
 	c.Threads = make([]litmus.Thread, len(p.Threads))
 	for i, th := range p.Threads {
 		c.Threads[i] = append(litmus.Thread(nil), th...)
+	}
+	if p.Widths != nil {
+		c.Widths = make(map[string]int, len(p.Widths))
+		for k, v := range p.Widths {
+			c.Widths[k] = v
+		}
 	}
 	return c
 }

@@ -18,9 +18,10 @@ import (
 
 // fuzzProgram deterministically builds a (possibly invalid) litmus
 // program from raw fuzz bytes: up to 3 threads and 12 instructions over
-// small location/register/value alphabets. Invalid programs (release
-// without hold) are fine — the invariance must hold for them too, as a
-// matching exploration error.
+// small location/register/value alphabets, with L1 optionally wide (block
+// reads/writes then exercise the ranged lowering). Invalid programs
+// (release without hold) are fine — the invariance must hold for them
+// too, as a matching exploration error.
 func fuzzProgram(data []byte) Program {
 	p := Program{
 		Name: "fuzzed",
@@ -29,6 +30,9 @@ func fuzzProgram(data []byte) Program {
 	nThreads := 1
 	if len(data) > 0 {
 		nThreads = 1 + int(data[0]%3)
+		if w := int(data[0]/3) % 4; w > 1 {
+			p.Widths = map[string]int{"L1": w}
+		}
 		data = data[1:]
 	}
 	p.Threads = make([]Thread, nThreads)
@@ -39,7 +43,7 @@ func fuzzProgram(data []byte) Program {
 		val := core.Value(data[2] % 4)
 		reg := fmt.Sprintf("r%d", data[2]%4)
 		var in Instr
-		switch data[3] % 7 {
+		switch data[3] % 9 {
 		case 0:
 			in = Read(loc, reg)
 		case 1:
@@ -54,6 +58,10 @@ func fuzzProgram(data []byte) Program {
 			in = Flush(loc)
 		case 6:
 			in = AwaitEq(loc, val, "")
+		case 7:
+			in = ReadBlock(loc, reg)
+		case 8:
+			in = WriteBlock(loc, val)
 		}
 		p.Threads[ti] = append(p.Threads[ti], in)
 		total++
@@ -63,12 +71,18 @@ func fuzzProgram(data []byte) Program {
 }
 
 // relabel renames every location and register through the given maps,
-// leaving structure untouched.
+// leaving structure (including location widths) untouched.
 func relabel(p Program, locMap, regMap map[string]string) Program {
 	out := p
 	out.Locs = make([]string, len(p.Locs))
 	for i, l := range p.Locs {
 		out.Locs[i] = locMap[l]
+	}
+	if p.Widths != nil {
+		out.Widths = make(map[string]int, len(p.Widths))
+		for l, w := range p.Widths {
+			out.Widths[locMap[l]] = w
+		}
 	}
 	out.Threads = make([]Thread, len(p.Threads))
 	for ti, th := range p.Threads {
@@ -87,7 +101,8 @@ func relabel(p Program, locMap, regMap map[string]string) Program {
 }
 
 // mapOutcome rewrites one canonical outcome string through a register
-// mapping and re-canonicalizes it.
+// mapping and re-canonicalizes it. Block reads observe derived registers
+// ("r2@1"); the base name is mapped and the word suffix kept.
 func mapOutcome(o string, regMap map[string]string) string {
 	if o == "(no observations)" {
 		return o
@@ -95,7 +110,11 @@ func mapOutcome(o string, regMap map[string]string) string {
 	parts := strings.Fields(o)
 	for i, part := range parts {
 		eq := strings.IndexByte(part, '=')
-		parts[i] = regMap[part[:eq]] + part[eq:]
+		name, suffix := part[:eq], ""
+		if at := strings.IndexByte(name, '@'); at >= 0 {
+			name, suffix = name[:at], name[at:]
+		}
+		parts[i] = regMap[name] + suffix + part[eq:]
 	}
 	sort.Strings(parts)
 	return strings.Join(parts, " ")

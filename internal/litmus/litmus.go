@@ -59,6 +59,15 @@ const (
 	// IAwaitEq blocks until a read of Loc can return Val, then performs
 	// that read into Reg (if Reg is non-empty).
 	IAwaitEq
+	// IReadBlock is a ranged read of Loc's whole width (annotation API
+	// v2): word k lands in register WordReg(Reg, k). Lowered to per-word
+	// reads before exploration; executed as one Ctx.ReadBlock by the
+	// conformance harness.
+	IReadBlock
+	// IWriteBlock is a ranged write of Loc's whole width: word k receives
+	// Val+k (distinct per-word values, so partial or torn transfers are
+	// observable).
+	IWriteBlock
 )
 
 // Instr is one litmus instruction.
@@ -99,6 +108,16 @@ func AwaitEq(loc string, val core.Value, reg string) Instr {
 	return Instr{Kind: IAwaitEq, Loc: loc, Val: val, Reg: reg}
 }
 
+// ReadBlock returns a ranged read of loc's whole width; word k is
+// observed in WordReg(reg, k) (reg may be empty for an unobserved read).
+func ReadBlock(loc, reg string) Instr { return Instr{Kind: IReadBlock, Loc: loc, Reg: reg} }
+
+// WriteBlock returns a ranged write of loc's whole width; word k receives
+// val+k.
+func WriteBlock(loc string, val core.Value) Instr {
+	return Instr{Kind: IWriteBlock, Loc: loc, Val: val}
+}
+
 // Thread is a sequence of instructions executed by one process.
 type Thread []Instr
 
@@ -107,6 +126,131 @@ type Program struct {
 	Name    string
 	Locs    []string
 	Threads []Thread
+	// Widths gives the word width of multi-word locations (absent or
+	// ≤ 1 means one word). Wide locations model multi-word shared
+	// objects: block instructions cover the whole width, scope
+	// annotations protect every word, and the explorer lowers both to
+	// per-word model operations (LowerWide).
+	Widths map[string]int
+}
+
+// WidthOf returns loc's width in words (at least 1).
+func (p Program) WidthOf(loc string) int {
+	if w := p.Widths[loc]; w > 1 {
+		return w
+	}
+	return 1
+}
+
+// WordLoc names word k of a wide location at model level: word 0 keeps
+// the location's own name, word k is "loc@k".
+func WordLoc(loc string, k int) string {
+	if k == 0 {
+		return loc
+	}
+	return fmt.Sprintf("%s@%d", loc, k)
+}
+
+// WordReg names the register observing word k of a block read: word 0
+// keeps the base register name, word k is "reg@k".
+func WordReg(reg string, k int) string {
+	if k == 0 || reg == "" {
+		return reg
+	}
+	return fmt.Sprintf("%s@%d", reg, k)
+}
+
+// HasWide reports whether p uses multi-word locations or block
+// instructions (i.e. whether LowerWide would rewrite it).
+func (p Program) HasWide() bool {
+	for _, w := range p.Widths {
+		if w > 1 {
+			return true
+		}
+	}
+	for _, th := range p.Threads {
+		for _, in := range th {
+			if in.Kind == IReadBlock || in.Kind == IWriteBlock {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// LowerWide rewrites a program with wide locations and block instructions
+// into the pure word-granular form the exploration engine and the formal
+// model speak:
+//
+//   - a wide location X of width w becomes word locations X, X@1 … X@w-1;
+//   - entry_x/exit_x (acquire/release) of X cover every word — the
+//     runtime's one object lock protects the whole object, which the
+//     model expresses as one acquire/release per word location;
+//   - location-scoped fences and flushes of X expand per word;
+//   - WriteBlock(X, v) becomes per-word writes of v+k, ReadBlock(X, r)
+//     per-word reads into r, r@1, …;
+//   - word-granular reads/writes/awaits of X touch word 0 (the location's
+//     own name).
+//
+// Bare (unscoped) accesses stay bare: the runtime's entry_ro wrapper takes
+// the object lock for multi-word objects, so the execution is strictly
+// more ordered than this model program — outcomes remain a subset of the
+// model's, which is the sound direction for conformance checking.
+//
+// Programs without wide features are returned unchanged (same backing
+// arrays), so existing explorations are bit-for-bit unaffected.
+func LowerWide(p Program) Program {
+	if !p.HasWide() {
+		return p
+	}
+	out := Program{Name: p.Name, Threads: make([]Thread, len(p.Threads))}
+	for _, loc := range p.Locs {
+		for k := 0; k < p.WidthOf(loc); k++ {
+			out.Locs = append(out.Locs, WordLoc(loc, k))
+		}
+	}
+	for ti, th := range p.Threads {
+		var eff Thread
+		for _, in := range th {
+			w := p.WidthOf(in.Loc)
+			switch in.Kind {
+			case IAcquire:
+				for k := 0; k < w; k++ {
+					eff = append(eff, Acquire(WordLoc(in.Loc, k)))
+				}
+			case IRelease:
+				for k := 0; k < w; k++ {
+					eff = append(eff, Release(WordLoc(in.Loc, k)))
+				}
+			case IFence:
+				if in.Loc == "" {
+					eff = append(eff, in)
+					break
+				}
+				for k := 0; k < w; k++ {
+					eff = append(eff, FenceOn(WordLoc(in.Loc, k)))
+				}
+			case IFlush:
+				for k := 0; k < w; k++ {
+					eff = append(eff, Flush(WordLoc(in.Loc, k)))
+				}
+			case IReadBlock:
+				for k := 0; k < w; k++ {
+					eff = append(eff, Read(WordLoc(in.Loc, k), WordReg(in.Reg, k)))
+				}
+			case IWriteBlock:
+				for k := 0; k < w; k++ {
+					eff = append(eff, Write(WordLoc(in.Loc, k), in.Val+core.Value(k)))
+				}
+			default:
+				// Word-granular reads, writes and awaits touch word 0,
+				// whose model location keeps the object's name.
+				eff = append(eff, in)
+			}
+		}
+		out.Threads[ti] = eff
+	}
+	return out
 }
 
 // Result summarizes an exploration.
@@ -264,6 +408,9 @@ func (x *Explorer) validate() error {
 
 // Run executes the exploration.
 func (x *Explorer) Run() (*Result, error) {
+	// Wide locations and block instructions lower to per-word model
+	// operations first; word-granular programs pass through untouched.
+	x.prog = LowerWide(x.prog)
 	exec := core.NewExecution()
 	x.locIdx = make(map[string]core.Loc, len(x.prog.Locs))
 	for _, name := range x.prog.Locs {

@@ -55,6 +55,11 @@ func Fingerprint(p Program) string {
 		for _, in := range th {
 			h.mix(uint64(in.Kind))
 			h.mixInt(canonLoc(in.Loc))
+			// A location's width is part of program behavior (it sets
+			// how scope and block instructions lower); widths follow the
+			// location through any renaming, keeping the fingerprint
+			// naming-invariant.
+			h.mixInt(p.WidthOf(in.Loc))
 			h.mix(uint64(in.Val))
 			h.mixInt(canonReg(in.Reg))
 		}

@@ -312,6 +312,40 @@ func StressIndependent() Program {
 	}
 }
 
+// MPBlock is message passing with a multi-word payload moved by the
+// annotation API v2 block operations: the writer publishes a 4-word
+// message with one WriteBlock (word k holds 42+k) and flags it; the reader
+// awaits the flag and reads the whole payload with one ReadBlock. Under
+// the PMC discipline the only outcome is the complete message — a torn or
+// stale word would escape the model, which is exactly what the
+// conformance matrix checks on every backend.
+func MPBlock() Program {
+	return Program{
+		Name:   "mp-block",
+		Locs:   []string{"M", "f"},
+		Widths: map[string]int{"M": 4},
+		Threads: []Thread{
+			{
+				Acquire("M"),
+				WriteBlock("M", 42),
+				Fence(),
+				Release("M"),
+				Acquire("f"),
+				Write("f", 1),
+				Flush("f"),
+				Release("f"),
+			},
+			{
+				AwaitEq("f", 1, ""),
+				Fence(),
+				Acquire("M"),
+				ReadBlock("M", "rM"),
+				Release("M"),
+			},
+		},
+	}
+}
+
 // Catalog returns all named programs.
 func Catalog() []Program {
 	return []Program{
@@ -331,6 +365,7 @@ func Catalog() []Program {
 		IRIW3(),
 		WRCDRF(),
 		StressIndependent(),
+		MPBlock(),
 	}
 }
 

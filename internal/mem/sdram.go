@@ -43,6 +43,21 @@ func (s *SDRAM) AccessLine(p *sim.Proc, addr Addr) (stall sim.Time) {
 	return p.Now() - t0
 }
 
+// AccessLines performs a timed multi-line burst transaction on behalf of
+// p: one row-access latency up front (the line-interleaved banks overlap
+// their activates behind the first), then the shared channel streams the
+// lines back-to-back. This is the DMA-style transfer the block-move
+// runtime layer uses; a loop of AccessLine calls instead re-arbitrates
+// per line and pays the full bank latency every time.
+func (s *SDRAM) AccessLines(p *sim.Proc, addr Addr, lines int) (stall sim.Time) {
+	if lines <= 0 {
+		return 0
+	}
+	t0 := p.Now()
+	p.WaitUntil(s.reserve(t0, addr, s.Cfg.LineLat, sim.Time(lines)*s.Cfg.ChannelLineLat))
+	return p.Now() - t0
+}
+
 // ReserveWordAt books a posted word access starting at or after t and
 // returns its completion time (when the data lands).
 func (s *SDRAM) ReserveWordAt(t sim.Time, addr Addr) (end sim.Time) {

@@ -256,6 +256,39 @@ func (n *Network) PostWrite(src, dst int, addr mem.Addr, data []byte) (delivered
 	return at
 }
 
+// PostWriteFan injects one burst of posted remote writes carrying the same
+// payload to several destinations — the multicast pattern of a DSM flush
+// broadcast. The network interface streams the messages back-to-back (the
+// i-th message's flits enter the network right behind the previous
+// message's, per-flit pipelining) instead of the core re-arbitrating
+// injection per message, so the caller charges the core once for
+// programming the burst rather than once per destination. Per-flow FIFO
+// order is preserved; the data is snapshotted once at injection time. It
+// returns the latest delivery time.
+func (n *Network) PostWriteFan(src int, dsts []int, addrOf func(dst int) mem.Addr, data []byte) (last sim.Time) {
+	if len(dsts) == 0 {
+		return n.k.Now()
+	}
+	flits := (len(data) + n.cfg.FlitSize - 1) / n.cfg.FlitSize
+	if flits == 0 {
+		flits = 1
+	}
+	buf := append([]byte(nil), data...) // one snapshot shared by all copies
+	base := n.k.Now()
+	for i, dst := range dsts {
+		if dst == src {
+			panic("noc: remote write to own tile (use the core port)")
+		}
+		at := n.arrivalAt(base+sim.Time(i*flits), src, dst, len(data))
+		dst := dst
+		n.k.ScheduleAt(at, func() { n.locals[dst].NoCWriteBlock(addrOf(dst), buf) })
+		if at > last {
+			last = at
+		}
+	}
+	return last
+}
+
 // PostWrite32 injects a posted single-word remote write.
 func (n *Network) PostWrite32(src, dst int, addr mem.Addr, v uint32) sim.Time {
 	var b [4]byte

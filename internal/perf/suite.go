@@ -37,6 +37,15 @@ func ciSuite() []Entry {
 		simE("sim/motionest/spm/8t", "motionest", "spm", 8, "", true),
 		simE("sim/msgpass/swcc/4t", "msgpass", "swcc", 4, "", true),
 	)
+	// Bulk ablation: the word-granular (API v1) and block-granular (API
+	// v2) bulkcopy twins on every backend — the exact sim-cycles pin both
+	// sides of the word-vs-block comparison.
+	for _, b := range []string{"nocc", "swcc", "dsm", "spm"} {
+		es = append(es,
+			simE("sim/bulkcopy-word/"+b+"/8t", "bulkcopy-word", b, 8, "", true),
+			simE("sim/bulkcopy/"+b+"/8t", "bulkcopy", b, 8, "", true),
+		)
+	}
 	// Litmus: the three engine modes on sb-drf (tree is the reference
 	// semantics), the annotated Fig. 5 program, and the state-collapse
 	// stress program that only the memoized engines can finish.
@@ -67,6 +76,12 @@ func fullSuite() []Entry {
 		simE("sim/motionest/spm/32t", "motionest", "spm", 32, "", false),
 		simE("sim/mfifo/dsm/16t/mesh", "mfifo", "dsm", 16, "mesh", false),
 	)
+	for _, b := range []string{"nocc", "swcc", "dsm", "spm"} {
+		es = append(es,
+			simE("sim/bulkcopy-word/"+b+"/32t", "bulkcopy-word", b, 32, "", false),
+			simE("sim/bulkcopy/"+b+"/32t", "bulkcopy", b, 32, "", false),
+		)
+	}
 	es = append(es,
 		lit("litmus/wrc-drf/tree", "wrc-drf", 1, false),
 		lit("litmus/wrc-drf/memo", "wrc-drf", 1, true),

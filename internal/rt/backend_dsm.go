@@ -104,20 +104,26 @@ func (b *dsmBackend) Fence(c *Ctx) {
 }
 
 // Flush broadcasts the object from the caller's replica to all other
-// tiles: one posted remote write per destination. The core pays the
-// injection cost per message; delivery is asynchronous (best effort, as
-// the model requires).
+// tiles as a single burst of posted writes over the write-only NoC: the
+// core programs the network interface once and the NI streams the
+// per-destination messages back-to-back (per-flit pipelining), instead of
+// the core paying an injection cycle per destination. Delivery remains
+// asynchronous (best effort, as the model requires).
 func (b *dsmBackend) Flush(c *Ctx, o *Object) {
+	locals := c.rt.Sys.Locals
+	if len(locals) < 2 {
+		return
+	}
 	buf := make([]byte, o.WordCount()*4)
 	c.T.Local.ReadBlock(b.replicaAddr(c.T.ID, o), buf)
-	for t := range c.rt.Sys.Locals {
-		if t == c.T.ID {
-			continue
+	dsts := make([]int, 0, len(locals)-1)
+	for t := range locals {
+		if t != c.T.ID {
+			dsts = append(dsts, t)
 		}
-		// Injection occupies the core for a cycle per message.
-		c.T.Exec(c.P, 1)
-		c.rt.Sys.Net.PostWrite(c.T.ID, t, b.replicaAddr(t, o), buf)
 	}
+	c.T.Exec(c.P, 1) // one injection op programs the whole burst
+	c.rt.Sys.Net.PostWriteFan(c.T.ID, dsts, func(t int) mem.Addr { return b.replicaAddr(t, o) }, buf)
 }
 
 func (b *dsmBackend) Read32(c *Ctx, o *Object, off int) uint32 {
@@ -126,4 +132,25 @@ func (b *dsmBackend) Read32(c *Ctx, o *Object, off int) uint32 {
 
 func (b *dsmBackend) Write32(c *Ctx, o *Object, off int, v uint32) {
 	c.T.WriteLocal32(c.P, b.replicaAddr(c.T.ID, o)+mem.Addr(off), v)
+}
+
+// ReadRange streams words out of the tile's own replica. The local memory
+// serves one word per load either way, so the range costs exactly the
+// word loop; the DSM block win lives in CopyRange and the flush burst.
+func (b *dsmBackend) ReadRange(c *Ctx, o *Object, off int, dst []uint32) {
+	readLocalRange(c, b.replicaAddr(c.T.ID, o)+mem.Addr(off), dst)
+}
+
+// WriteRange streams words into the tile's own replica.
+func (b *dsmBackend) WriteRange(c *Ctx, o *Object, off int, src []uint32) {
+	writeLocalRange(c, b.replicaAddr(c.T.ID, o)+mem.Addr(off), src)
+}
+
+// CopyRange moves data between two replicas in the tile's local memory
+// with the dual-port DMA: read and write ports overlap at one word per
+// cycle, half the cost of the load/store-per-word loop.
+func (b *dsmBackend) CopyRange(c *Ctx, dst *Object, dstOff int, src *Object, srcOff int, words int, wantVals bool) ([]uint32, bool) {
+	srcA := b.replicaAddr(c.T.ID, src) + mem.Addr(srcOff)
+	dstA := b.replicaAddr(c.T.ID, dst) + mem.Addr(dstOff)
+	return copyLocalDMA(c, srcA, dstA, words, wantVals), true
 }

@@ -58,3 +58,15 @@ func (noccBackend) Read32(c *Ctx, o *Object, off int) uint32 {
 func (noccBackend) Write32(c *Ctx, o *Object, off int, v uint32) {
 	c.T.WriteShared32Uncached(c.P, o.Addr+mem.Addr(off), v)
 }
+
+// ReadRange loops the uncached word path: the plain shared bus port has no
+// burst mode (that asymmetry against the cached and local-memory backends
+// is exactly what the bulk-ablation experiment measures).
+func (b noccBackend) ReadRange(c *Ctx, o *Object, off int, dst []uint32) {
+	ReadRangeByWords(b, c, o, off, dst)
+}
+
+// WriteRange loops the uncached (posted) word path.
+func (b noccBackend) WriteRange(c *Ctx, o *Object, off int, src []uint32) {
+	WriteRangeByWords(b, c, o, off, src)
+}

@@ -104,3 +104,39 @@ func (b spmBackend) Write32(c *Ctx, o *Object, off int, v uint32) {
 	}
 	c.T.WriteLocal32(c.P, s.spmAddr+mem.Addr(off), v)
 }
+
+// ReadRange streams words out of the staged scratch-pad copy (the whole
+// object was staged by one DMA burst at entry; see stage). Out-of-scope
+// ranges — already reported as violations — fall back to the uncached
+// canonical copy, word by word, like Read32.
+func (b spmBackend) ReadRange(c *Ctx, o *Object, off int, dst []uint32) {
+	s, ok := c.scopes[o]
+	if !ok {
+		ReadRangeByWords(b, c, o, off, dst)
+		return
+	}
+	readLocalRange(c, s.spmAddr+mem.Addr(off), dst)
+}
+
+// WriteRange streams words into the staged scratch-pad copy.
+func (b spmBackend) WriteRange(c *Ctx, o *Object, off int, src []uint32) {
+	s, ok := c.scopes[o]
+	if !ok {
+		WriteRangeByWords(b, c, o, off, src)
+		return
+	}
+	writeLocalRange(c, s.spmAddr+mem.Addr(off), src)
+}
+
+// CopyRange moves data between two staged copies with the scratch-pad's
+// dual-port DMA (one word per cycle, read and write overlapped). When
+// either object is not staged the caller falls back to the ranged
+// read/write lowering.
+func (b spmBackend) CopyRange(c *Ctx, dst *Object, dstOff int, src *Object, srcOff int, words int, wantVals bool) ([]uint32, bool) {
+	ss, okS := c.scopes[src]
+	ds, okD := c.scopes[dst]
+	if !okS || !okD {
+		return nil, false
+	}
+	return copyLocalDMA(c, ss.spmAddr+mem.Addr(srcOff), ds.spmAddr+mem.Addr(dstOff), words, wantVals), true
+}

@@ -111,3 +111,17 @@ func (b *swccBackend) Read32(c *Ctx, o *Object, off int) uint32 {
 func (b *swccBackend) Write32(c *Ctx, o *Object, off int, v uint32) {
 	c.T.WriteShared32Cached(c.P, o.Addr+mem.Addr(off), v)
 }
+
+// ReadRange reads through the D-cache with every missing line of the range
+// installed by one multi-line burst transaction; each touched line moves
+// over the bus at most once per range.
+func (b *swccBackend) ReadRange(c *Ctx, o *Object, off int, dst []uint32) {
+	c.T.ReadSharedRangeCached(c.P, o.Addr+mem.Addr(off), dst)
+}
+
+// WriteRange writes through the D-cache: fully covered lines are installed
+// dirty without a write-allocate fill, boundary lines are burst-filled
+// once.
+func (b *swccBackend) WriteRange(c *Ctx, o *Object, off int, src []uint32) {
+	c.T.WriteSharedRangeCached(c.P, o.Addr+mem.Addr(off), src)
+}

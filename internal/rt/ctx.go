@@ -161,7 +161,10 @@ func (c *Ctx) Flush(o *Object) {
 }
 
 // Read32 reads the 32-bit word at byte offset off of o. The object must be
-// open in RO or X mode.
+// open in RO or X mode. It is the one-word form of ReadBlock, kept on the
+// backend's dedicated word path so its instruction sequence — and
+// therefore its sim-cycle cost — is byte-identical to annotation API v1
+// (TestOneWordBlockEquivalence pins the equivalence).
 func (c *Ctx) Read32(o *Object, off int) uint32 {
 	if off < 0 || off+4 > o.WordCount()*4 {
 		panic(fmt.Sprintf("rt: Read32(%s, %d) out of bounds", o.Name, off))
@@ -177,7 +180,8 @@ func (c *Ctx) Read32(o *Object, off int) uint32 {
 }
 
 // Write32 writes the word at byte offset off of o. The object must be open
-// in X mode.
+// in X mode. Like Read32, it is the one-word form of WriteBlock on the
+// pinned word path.
 func (c *Ctx) Write32(o *Object, off int, v uint32) {
 	if off < 0 || off+4 > o.WordCount()*4 {
 		panic(fmt.Sprintf("rt: Write32(%s, %d) out of bounds", o.Name, off))
@@ -188,6 +192,96 @@ func (c *Ctx) Write32(o *Object, off int, v uint32) {
 	c.rt.B.Write32(c, o, off, v)
 	if c.rt.Recorder != nil {
 		c.rt.Recorder.write(c, o, off, v)
+	}
+}
+
+// rangeOK validates a ranged access of words 32-bit words starting at byte
+// offset off. Out-of-bounds and misaligned ranges are discipline
+// violations (not panics): the runtime reports them and the access is
+// skipped, mirroring how scope violations accumulate.
+func (c *Ctx) rangeOK(op string, o *Object, off, words int) bool {
+	if off < 0 || off%4 != 0 || words < 0 || off+4*words > o.WordCount()*4 {
+		c.rt.violate(c, op, o, fmt.Sprintf("range [%d,+%d words) out of bounds (object spans %d words)",
+			off, words, o.WordCount()))
+		return false
+	}
+	return true
+}
+
+// ReadBlock reads len(dst) consecutive words starting at byte offset off
+// of o into dst in one ranged operation. The object must be open in RO or
+// X mode. Backends implement the range natively — the cache installs every
+// missing line with one burst transaction, DSM and SPM stream from local
+// memory — so a block read never costs more than the equivalent Read32
+// loop and is usually cheaper.
+func (c *Ctx) ReadBlock(o *Object, off int, dst []uint32) {
+	if len(dst) == 0 {
+		return
+	}
+	if !c.rangeOK("read-block", o, off, len(dst)) {
+		clear(dst)
+		return
+	}
+	if _, open := c.scopes[o]; !open {
+		c.rt.violate(c, "read-block", o, "access outside any entry/exit scope")
+	}
+	c.rt.B.ReadRange(c, o, off, dst)
+	if c.rt.Recorder != nil {
+		c.rt.Recorder.readRange(c, o, off, dst)
+	}
+}
+
+// WriteBlock writes len(src) consecutive words starting at byte offset off
+// of o in one ranged operation. The object must be open in X mode.
+func (c *Ctx) WriteBlock(o *Object, off int, src []uint32) {
+	if len(src) == 0 {
+		return
+	}
+	if !c.rangeOK("write-block", o, off, len(src)) {
+		return
+	}
+	if s, open := c.scopes[o]; !open || s.mode != scopeX {
+		c.rt.violate(c, "write-block", o, "write outside entry_x/exit_x scope")
+	}
+	c.rt.B.WriteRange(c, o, off, src)
+	if c.rt.Recorder != nil {
+		c.rt.Recorder.writeRange(c, o, off, src)
+	}
+}
+
+// Copy moves words consecutive words from src (open in any mode) at byte
+// offset srcOff into dst (open in X mode) at byte offset dstOff. Backends
+// with overlapped block-move hardware (DSM and SPM local-memory DMA)
+// execute it as a single transfer; others lower it to a ranged read
+// followed by a ranged write.
+func (c *Ctx) Copy(dst *Object, dstOff int, src *Object, srcOff int, words int) {
+	if words == 0 {
+		return
+	}
+	if !c.rangeOK("copy", src, srcOff, words) || !c.rangeOK("copy", dst, dstOff, words) {
+		return
+	}
+	if _, open := c.scopes[src]; !open {
+		c.rt.violate(c, "copy", src, "source not open in any entry/exit scope")
+	}
+	if s, open := c.scopes[dst]; !open || s.mode != scopeX {
+		c.rt.violate(c, "copy", dst, "destination not open in an entry_x/exit_x scope")
+	}
+	wantVals := c.rt.Recorder != nil
+	var (
+		vals  []uint32
+		accel bool
+	)
+	if rc, ok := c.rt.B.(rangeCopier); ok {
+		vals, accel = rc.CopyRange(c, dst, dstOff, src, srcOff, words, wantVals)
+	}
+	if !accel {
+		vals = make([]uint32, words)
+		c.rt.B.ReadRange(c, src, srcOff, vals)
+		c.rt.B.WriteRange(c, dst, dstOff, vals)
+	}
+	if c.rt.Recorder != nil {
+		c.rt.Recorder.copyRange(c, dst, dstOff, src, srcOff, vals)
 	}
 }
 

@@ -127,4 +127,15 @@ func (f *faulty) Init(rt *Runtime) {
 	}
 }
 
+// CopyRange forwards the optional block-copy capability of the wrapped
+// backend: faults disable protocol steps (flushes, transfers), never data
+// movement, so ranged operations pass through unchanged. (ReadRange and
+// WriteRange are promoted from the embedded Backend for the same reason.)
+func (f *faulty) CopyRange(c *Ctx, dst *Object, dstOff int, src *Object, srcOff int, words int, wantVals bool) ([]uint32, bool) {
+	if rc, ok := f.Backend.(rangeCopier); ok {
+		return rc.CopyRange(c, dst, dstOff, src, srcOff, words, wantVals)
+	}
+	return nil, false
+}
+
 func (f *faulty) Name() string { return f.Backend.Name() + "-faulty" }

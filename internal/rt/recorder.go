@@ -213,6 +213,34 @@ func (r *Recorder) write(c *Ctx, o *Object, off int, v uint32) {
 	r.Exec.Write(r.proc(c), ls[off/4], core.Value(v))
 }
 
+// readRange lowers a ranged read to one model read per word: the model has
+// no block operations, so conformance keeps checking every transferred
+// word against the Table I rules exactly as if it had been a Read32 loop.
+func (r *Recorder) readRange(c *Ctx, o *Object, off int, dst []uint32) {
+	for i, v := range dst {
+		r.read(c, o, off+4*i, v)
+	}
+}
+
+// writeRange lowers a ranged write to one model write per word.
+func (r *Recorder) writeRange(c *Ctx, o *Object, off int, src []uint32) {
+	for i, v := range src {
+		r.write(c, o, off+4*i, v)
+	}
+}
+
+// copyRange lowers an object-to-object block copy to per-word model reads
+// of the source (each verified against the model's readable set) followed
+// by per-word model writes of the destination.
+func (r *Recorder) copyRange(c *Ctx, dst *Object, dstOff int, src *Object, srcOff int, vals []uint32) {
+	for i, v := range vals {
+		r.read(c, src, srcOff+4*i, v)
+	}
+	for i, v := range vals {
+		r.write(c, dst, dstOff+4*i, v)
+	}
+}
+
 // CheckWriteOrder verifies the determinism requirement of Section IV-D for
 // every recorded location: all writes in total ≺G order.
 func (r *Recorder) CheckWriteOrder() error {

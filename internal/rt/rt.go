@@ -69,7 +69,72 @@ func (o *Object) WordCount() int { return (o.Size + 3) / 4 }
 // Backend implements the annotations for one memory architecture
 // (Table II). All methods run in the calling worker's process context and
 // charge simulated time through the Ctx's tile.
+//
+// The data-access surface is ranged (annotation API v2): ReadRange and
+// WriteRange move [off, off+4·len) in one operation, and Read32/Write32
+// are the one-word special case kept as distinct methods so their
+// instruction sequence — and therefore their sim-cycle cost — is pinned
+// exactly to the historical word path. A word-granular backend can be
+// lifted to the full interface with AdaptWordBackend.
 type Backend interface {
+	// WordBackend is the v1 surface: annotations plus the word-granular
+	// accesses.
+	WordBackend
+	// ReadRange reads len(dst) words starting at byte offset off.
+	ReadRange(c *Ctx, o *Object, off int, dst []uint32)
+	// WriteRange writes len(src) words starting at byte offset off.
+	WriteRange(c *Ctx, o *Object, off int, src []uint32)
+}
+
+// rangeCopier is the optional backend capability behind Ctx.Copy: an
+// object-to-object block move that beats the read-range-then-write-range
+// lowering (e.g. a single-port-overlapped local-memory DMA on DSM/SPM).
+// It reports false when this particular copy cannot be accelerated, in
+// which case the caller falls back to ReadRange+WriteRange. The copied
+// word values are materialized only when wantVals is set (the recorder
+// lowers them to model reads and writes); recorder-free runs skip the
+// readback entirely.
+type rangeCopier interface {
+	CopyRange(c *Ctx, dst *Object, dstOff int, src *Object, srcOff int, words int, wantVals bool) ([]uint32, bool)
+}
+
+// copyLocalDMA runs the dual-port local-memory DMA between two resolved
+// local addresses — the shared body of the dsm and spm CopyRange
+// implementations — returning the copied values only on demand.
+func copyLocalDMA(c *Ctx, srcA, dstA mem.Addr, words int, wantVals bool) []uint32 {
+	c.T.CopyLocal(c.P, srcA, dstA, words*4)
+	if !wantVals {
+		return nil
+	}
+	vals := make([]uint32, words)
+	local := c.rt.Sys.Locals[c.T.ID]
+	for i := range vals {
+		vals[i] = local.Read32(dstA + mem.Addr(4*i))
+	}
+	return vals
+}
+
+// readLocalRange streams a word range out of a resolved local-memory
+// address, one load instruction per word (dsm replicas, spm staged
+// copies).
+func readLocalRange(c *Ctx, base mem.Addr, dst []uint32) {
+	for i := range dst {
+		dst[i] = c.T.ReadLocal32(c.P, base+mem.Addr(4*i))
+	}
+}
+
+// writeLocalRange streams a word range into a resolved local-memory
+// address, one store instruction per word.
+func writeLocalRange(c *Ctx, base mem.Addr, src []uint32) {
+	for i, v := range src {
+		c.T.WriteLocal32(c.P, base+mem.Addr(4*i), v)
+	}
+}
+
+// WordBackend is the v1 word-granular backend surface. Existing backends
+// that only speak one 32-bit word at a time keep working through
+// AdaptWordBackend, which lowers the ranged operations onto the word path.
+type WordBackend interface {
 	Name() string
 	// Init is called once after the runtime is assembled, before any
 	// worker runs (e.g. DSM replica setup, lock transfer hooks).
@@ -82,6 +147,36 @@ type Backend interface {
 	Flush(c *Ctx, o *Object)
 	Read32(c *Ctx, o *Object, off int) uint32
 	Write32(c *Ctx, o *Object, off int, v uint32)
+}
+
+// AdaptWordBackend lifts a word-granular backend to the ranged Backend
+// interface by lowering ReadRange/WriteRange to one Read32/Write32 per
+// word — the compatibility path: semantics and per-word cost are exactly
+// the v1 loop an application would have written.
+func AdaptWordBackend(b WordBackend) Backend { return &wordAdapter{WordBackend: b} }
+
+type wordAdapter struct{ WordBackend }
+
+func (a *wordAdapter) ReadRange(c *Ctx, o *Object, off int, dst []uint32) {
+	ReadRangeByWords(a.WordBackend, c, o, off, dst)
+}
+
+func (a *wordAdapter) WriteRange(c *Ctx, o *Object, off int, src []uint32) {
+	WriteRangeByWords(a.WordBackend, c, o, off, src)
+}
+
+// ReadRangeByWords lowers a ranged read onto a backend's word path.
+func ReadRangeByWords(b WordBackend, c *Ctx, o *Object, off int, dst []uint32) {
+	for i := range dst {
+		dst[i] = b.Read32(c, o, off+4*i)
+	}
+}
+
+// WriteRangeByWords lowers a ranged write onto a backend's word path.
+func WriteRangeByWords(b WordBackend, c *Ctx, o *Object, off int, src []uint32) {
+	for i, v := range src {
+		b.Write32(c, o, off+4*i, v)
+	}
 }
 
 // Violation is a breach of the annotation discipline detected at run time.
@@ -103,6 +198,7 @@ type Runtime struct {
 
 	objects   []*Object
 	objByLock map[int]*Object
+	objByName map[string]*Object
 	heapNext  mem.Addr
 
 	// Recorder, if non-nil, mirrors every annotation and access into the
@@ -147,6 +243,7 @@ func New(sys *soc.System, b Backend) *Runtime {
 		Sys:       sys,
 		B:         b,
 		objByLock: make(map[int]*Object),
+		objByName: make(map[string]*Object),
 		heapNext:  heapBase,
 	}
 	b.Init(rt)
@@ -154,10 +251,14 @@ func New(sys *soc.System, b Backend) *Runtime {
 }
 
 // Alloc creates a shared object of the given size (bytes), cache-line
-// aligned, protected by a fresh lock.
+// aligned, protected by a fresh lock. Object names must be unique: the
+// runtime, traces and violation reports all identify objects by name.
 func (rt *Runtime) Alloc(name string, size int) *Object {
 	if size <= 0 {
-		panic(fmt.Sprintf("rt: Alloc(%q, %d)", name, size))
+		panic(fmt.Sprintf("rt: Alloc(%q): size %d must be positive (bytes)", name, size))
+	}
+	if prev, dup := rt.objByName[name]; dup {
+		panic(fmt.Sprintf("rt: Alloc(%q): duplicate object name (already allocated with %d bytes)", name, prev.Size))
 	}
 	line := mem.Addr(rt.Sys.Cfg.DCache.LineSize)
 	addr := (rt.heapNext + line - 1) &^ (line - 1)
@@ -178,6 +279,7 @@ func (rt *Runtime) Alloc(name string, size int) *Object {
 	}
 	rt.objects = append(rt.objects, o)
 	rt.objByLock[o.LockID] = o
+	rt.objByName[o.Name] = o
 	if rt.Recorder != nil {
 		rt.Recorder.addObject(o)
 	}

@@ -1,6 +1,8 @@
 package soc
 
 import (
+	"encoding/binary"
+
 	"pmc/internal/cache"
 	"pmc/internal/mem"
 	"pmc/internal/sim"
@@ -273,6 +275,125 @@ func (t *Tile) WriteLocal32(p *sim.Proc, addr mem.Addr, v uint32) {
 	t.Local.Write32(addr, v)
 }
 
+// dmaSetupInstrs is the instruction cost of programming a block-move
+// (address/length registers plus the kick) charged once per DMA-style
+// transfer, independent of its size.
+const dmaSetupInstrs = 4
+
+// ReadSharedRangeCached loads a word range of shared data through the
+// D-cache (SWCC mode). Every missing line of the range is installed first
+// with a single multi-line burst transaction (one arbitration, lines
+// streamed back-to-back on the channel) instead of a per-word arbitrated
+// fill, then the words are copied out of the cache at one instruction
+// each. Each touched line moves over the bus at most once per range, and
+// the cache sees one transaction per line (FillRange's hit/miss per
+// line), not one per word — the DMA-engine access pattern.
+func (t *Tile) ReadSharedRangeCached(p *sim.Proc, addr mem.Addr, dst []uint32) {
+	if len(dst) == 0 {
+		return
+	}
+	t.Stats.SharedReads += uint64(len(dst))
+	fills, wbs := t.DC.FillRange(addr, len(dst)*4)
+	for _, wb := range wbs {
+		t.Stats.WriteStall += t.Sys.SDRAM.AccessLine(p, wb)
+		t.Sys.SDRAM.LineWBs++
+	}
+	if fills > 0 {
+		t.Stats.SharedReadStall += t.Sys.SDRAM.AccessLines(p, addr, fills)
+		t.Sys.SDRAM.LineFills += uint64(fills)
+	}
+	t.fetchAndExec(p, len(dst))
+	if t.DC.ReadRange32(addr, dst) {
+		return
+	}
+	// A range larger than the cache evicted its own head while filling
+	// its tail; fall back to the per-word path with charged traffic.
+	for i := range dst {
+		v, tr := t.DC.Read32(addr + mem.Addr(4*i))
+		t.Stats.SharedReadStall += t.chargeTraffic(p, addr+mem.Addr(4*i), tr)
+		dst[i] = v
+	}
+}
+
+// WriteSharedRangeCached stores a word range of shared data through the
+// D-cache (SWCC mode). Lines completely covered by the range are installed
+// dirty without a write-allocate fill (every byte is overwritten, so the
+// fetch would be wasted); partially covered boundary lines are filled with
+// one burst first. Victim writebacks are charged per line.
+func (t *Tile) WriteSharedRangeCached(p *sim.Proc, addr mem.Addr, src []uint32) {
+	if len(src) == 0 {
+		return
+	}
+	t.Stats.SharedWrites += uint64(len(src))
+	ls := t.Sys.Cfg.DCache.LineSize
+	end := addr + mem.Addr(len(src)*4)
+	first := t.DC.LineBase(addr)
+	last := t.DC.LineBase(end - 1)
+	partialFills := 0
+	lineBuf := make([]byte, ls)
+	for a := first; ; a += mem.Addr(ls) {
+		if a >= addr && a+mem.Addr(ls) <= end {
+			// Whole line overwritten from the source buffer: install it
+			// dirty, skipping the write-allocate fill.
+			base := int(a-addr) / 4
+			for i := 0; i < ls/4; i++ {
+				binary.LittleEndian.PutUint32(lineBuf[4*i:], src[base+i])
+			}
+			if tr := t.DC.WriteLineFull(a, lineBuf); tr.Writeback {
+				t.Stats.WriteStall += t.Sys.SDRAM.AccessLine(p, tr.WritebackAddr)
+				t.Sys.SDRAM.LineWBs++
+			}
+		} else {
+			// Partially covered boundary line: needs its other bytes.
+			fills, wbs := t.DC.FillRange(a, 1)
+			for _, wb := range wbs {
+				t.Stats.WriteStall += t.Sys.SDRAM.AccessLine(p, wb)
+				t.Sys.SDRAM.LineWBs++
+			}
+			partialFills += fills
+		}
+		if a == last {
+			break
+		}
+	}
+	if partialFills > 0 {
+		t.Stats.WriteStall += t.Sys.SDRAM.AccessLines(p, addr, partialFills)
+		t.Sys.SDRAM.LineFills += uint64(partialFills)
+	}
+	t.fetchAndExec(p, len(src))
+	// Boundary words stream into the just-filled lines without further
+	// cache transactions (the per-line install/fill above accounted
+	// them); full lines already hold their data.
+	for i, v := range src {
+		a := addr + mem.Addr(4*i)
+		if lb := t.DC.LineBase(a); lb >= addr && lb+mem.Addr(ls) <= end {
+			continue // full line, installed above
+		}
+		if !t.DC.WriteRange32(a, src[i:i+1]) {
+			// Self-evicted while filling a giant range: per-word path.
+			tr := t.DC.Write32(a, v)
+			t.Stats.WriteStall += t.chargeTraffic(p, a, tr)
+		}
+	}
+}
+
+// CopyLocal is a DMA-style block move inside this tile's local memory: the
+// core programs the engine (dmaSetupInstrs) and the dual-port RAM streams
+// one word per cycle, read and write overlapped — half the cost of the
+// load/store-per-word loop.
+func (t *Tile) CopyLocal(p *sim.Proc, src, dst mem.Addr, size int) {
+	t.fetchAndExec(p, dmaSetupInstrs)
+	t0 := p.Now()
+	words := (size + 3) / 4
+	buf := make([]byte, size)
+	t.Local.ReadBlock(src, buf)
+	t.Local.WriteBlock(dst, buf)
+	t.Local.CoreReads += uint64(words)
+	t.Local.CoreWrites += uint64(words)
+	p.Wait(sim.Time(words))
+	t.Stats.CopyStall += p.Now() - t0
+}
+
 // FlushShared flush-invalidates the D-cache lines covering [addr,
 // addr+size): one cache-control instruction per line plus bus time for each
 // dirty writeback. This is the cost the paper reports as "time spent on
@@ -318,41 +439,39 @@ func (t *Tile) InvalidateShared(p *sim.Proc, addr mem.Addr, size int) {
 }
 
 // CopyToLocal copies size bytes from SDRAM into this tile's local memory
-// (SPM staging / DSM replica initialization): line-burst reads over the
-// bus, single-cycle local writes overlapped with the bus transfers.
+// (SPM staging / DSM replica initialization) as one DMA-style burst
+// transaction: a single arbitration, then the lines stream back-to-back on
+// the data channel while the dual-port local memory absorbs them. A
+// one-line copy costs exactly what a single line-burst access does.
 func (t *Tile) CopyToLocal(p *sim.Proc, src mem.Addr, dst mem.Addr, size int) {
+	if size <= 0 {
+		return
+	}
 	t0 := p.Now()
 	ls := t.Sys.Cfg.SDRAM.LineSize
-	buf := make([]byte, ls)
-	for off := 0; off < size; off += ls {
-		n := size - off
-		if n > ls {
-			n = ls
-		}
-		t.Sys.SDRAM.AccessLine(p, src+mem.Addr(off))
-		t.Sys.SDRAM.LineFills++
-		t.Sys.SDRAM.ReadBlock(src+mem.Addr(off), buf[:n])
-		t.Local.WriteBlock(dst+mem.Addr(off), buf[:n])
-	}
+	lines := (size + ls - 1) / ls
+	t.Sys.SDRAM.AccessLines(p, src, lines)
+	t.Sys.SDRAM.LineFills += uint64(lines)
+	buf := make([]byte, size)
+	t.Sys.SDRAM.ReadBlock(src, buf)
+	t.Local.WriteBlock(dst, buf)
 	t.Stats.CopyStall += p.Now() - t0
 }
 
 // CopyFromLocal copies size bytes from this tile's local memory back to
-// SDRAM in line bursts.
+// SDRAM in one DMA-style burst transaction.
 func (t *Tile) CopyFromLocal(p *sim.Proc, src mem.Addr, dst mem.Addr, size int) {
+	if size <= 0 {
+		return
+	}
 	t0 := p.Now()
 	ls := t.Sys.Cfg.SDRAM.LineSize
-	buf := make([]byte, ls)
-	for off := 0; off < size; off += ls {
-		n := size - off
-		if n > ls {
-			n = ls
-		}
-		t.Local.ReadBlock(src+mem.Addr(off), buf[:n])
-		t.Sys.SDRAM.AccessLine(p, dst+mem.Addr(off))
-		t.Sys.SDRAM.LineWBs++
-		t.Sys.SDRAM.WriteBlock(dst+mem.Addr(off), buf[:n])
-	}
+	lines := (size + ls - 1) / ls
+	buf := make([]byte, size)
+	t.Local.ReadBlock(src, buf)
+	t.Sys.SDRAM.AccessLines(p, dst, lines)
+	t.Sys.SDRAM.LineWBs += uint64(lines)
+	t.Sys.SDRAM.WriteBlock(dst, buf)
 	t.Stats.CopyStall += p.Now() - t0
 }
 

@@ -1,0 +1,127 @@
+package workloads
+
+import (
+	"fmt"
+
+	"pmc/internal/rt"
+)
+
+// BulkCopy is the transfer-granularity microbenchmark behind the
+// bulk-ablation experiment: each tile owns a source and a destination
+// object and streams one into the other for several rounds, then
+// read-modify-writes the destination. Chunk selects the access
+// granularity — 1 reproduces the annotation API v1 word loop
+// (Read32/Write32 per word), larger values move Chunk-word ranges with
+// the v2 calls (Copy for the stream, ReadBlock/WriteBlock for the
+// read-modify-write). Every granularity performs identical data movement,
+// so the checksum is the same for every Chunk on every backend; only the
+// sim-cycles differ — the ablation's measurement.
+type BulkCopy struct {
+	// SlotWords is the per-tile object size in words.
+	SlotWords int
+	// Rounds is the number of stream+update passes.
+	Rounds int
+	// Chunk is the transfer granularity in words (1 = v1 word loop).
+	Chunk int
+
+	srcs, dsts []*rt.Object
+}
+
+// DefaultBulkCopy returns the evaluation configuration (block granularity
+// of a whole object).
+func DefaultBulkCopy() *BulkCopy {
+	return &BulkCopy{SlotWords: 64, Rounds: 4, Chunk: 64}
+}
+
+// DefaultBulkCopyWord is the word-granularity (API v1) twin.
+func DefaultBulkCopyWord() *BulkCopy {
+	b := DefaultBulkCopy()
+	b.Chunk = 1
+	return b
+}
+
+// Name implements App.
+func (a *BulkCopy) Name() string {
+	if a.Chunk <= 1 {
+		return "bulkcopy-word"
+	}
+	return "bulkcopy"
+}
+
+// Setup implements App.
+func (a *BulkCopy) Setup(r *rt.Runtime, tiles int) {
+	rnd := newRand(0xb10c)
+	a.srcs = make([]*rt.Object, tiles)
+	a.dsts = make([]*rt.Object, tiles)
+	for t := 0; t < tiles; t++ {
+		a.srcs[t] = r.Alloc(fmt.Sprintf("bulk-src%d", t), a.SlotWords*4)
+		a.dsts[t] = r.Alloc(fmt.Sprintf("bulk-dst%d", t), a.SlotWords*4)
+		words := make([]uint32, a.SlotWords)
+		for w := range words {
+			words[w] = rnd.next()
+		}
+		r.InitObject(a.srcs[t], words)
+	}
+}
+
+// Worker implements App.
+func (a *BulkCopy) Worker(c *rt.Ctx, tile, tiles int) {
+	c.SetCodeFootprint(1024)
+	src, dst := a.srcs[tile], a.dsts[tile]
+	chunk := a.Chunk
+	if chunk < 1 {
+		chunk = 1
+	}
+	buf := make([]uint32, a.SlotWords)
+	for round := 0; round < a.Rounds; round++ {
+		// One exclusive scope per round covers the stream and the
+		// update, so scope overhead (locks, SPM staging) is identical
+		// across granularities and the measured delta is the transfers.
+		c.EntryRO(src)
+		c.EntryX(dst)
+		if chunk == 1 {
+			// API v1: one word per protocol round trip.
+			for w := 0; w < a.SlotWords; w++ {
+				c.Write32(dst, 4*w, c.Read32(src, 4*w))
+			}
+			for w := 0; w < a.SlotWords; w++ {
+				c.Write32(dst, 4*w, c.Read32(dst, 4*w)+uint32(round+tile))
+			}
+		} else {
+			// API v2: ranged transfers in Chunk-word chunks.
+			for w := 0; w < a.SlotWords; w += chunk {
+				n := a.SlotWords - w
+				if n > chunk {
+					n = chunk
+				}
+				c.Copy(dst, 4*w, src, 4*w, n)
+			}
+			for w := 0; w < a.SlotWords; w += chunk {
+				n := a.SlotWords - w
+				if n > chunk {
+					n = chunk
+				}
+				c.ReadBlock(dst, 4*w, buf[:n])
+				for i := 0; i < n; i++ {
+					buf[i] += uint32(round + tile)
+				}
+				c.WriteBlock(dst, 4*w, buf[:n])
+			}
+		}
+		c.ExitX(dst)
+		c.ExitRO(src)
+		c.Compute(16)
+	}
+}
+
+// Checksum implements App: fold of every destination word — identical for
+// every granularity and backend.
+func (a *BulkCopy) Checksum(r *rt.Runtime) uint32 {
+	var sum uint32
+	for _, d := range a.dsts {
+		for w := 0; w < a.SlotWords; w++ {
+			sum = sum*31 + r.ReadObjectWord(d, w)
+		}
+	}
+	return sum
+}

@@ -59,9 +59,7 @@ func (f *Fifo) Push(c *rt.Ctx, data []uint32) {
 	c.Fence()
 	slot := f.buf[int(wp)%f.depth]
 	c.EntryX(slot)
-	for w, v := range data {
-		c.Write32(slot, 4*w, v)
-	}
+	c.WriteBlock(slot, 0, data) // one ranged write moves the payload
 	c.ExitX(slot)
 	c.Fence()
 	c.Write32(f.writePtr, 0, wp+1)
@@ -88,9 +86,7 @@ func (f *Fifo) Pop(c *rt.Ctx, me int) []uint32 {
 	slot := f.buf[int(rp)%f.depth]
 	data := make([]uint32, f.elemWords)
 	c.EntryX(slot)
-	for w := range data {
-		data[w] = c.Read32(slot, 4*w)
-	}
+	c.ReadBlock(slot, 0, data) // one ranged read drains the payload
 	c.ExitX(slot)
 	c.Fence()
 	c.EntryX(f.readPtrs[me])

@@ -87,6 +87,9 @@ func (a *MotionEst) Worker(c *rt.Ctx, tile, tiles int) {
 	c.SetCodeFootprint(3 * 1024)
 	widthWords := a.BlocksX * blockPixels / 4
 	blockWords := blockPixels * blockPixels / 4
+	colWords := blockPixels / 4
+	curBuf := make([]uint32, blockWords)
+	rowBuf := make([]uint32, colWords+1)
 	for {
 		task, ok := a.queue.next(c)
 		if !ok {
@@ -103,26 +106,39 @@ func (a *MotionEst) Worker(c *rt.Ctx, tile, tiles int) {
 		c.EntryRO(block)
 		c.EntryX(vector)
 
+		// The current block is re-read once per candidate: stage it with
+		// a single ranged read instead of per-word loads.
+		c.ReadBlock(block, 0, curBuf)
+
 		best := uint32(0xffffffff)
 		bestDX, bestDY := 0, 0
 		side := 2*a.Search + 1
 		for cand := 0; cand < side*side; cand++ {
 			dx, dy := cand%side-a.Search, cand/side-a.Search
 			var sad uint32
-			for w := 0; w < blockWords; w++ {
-				row := w / (blockPixels / 4)
-				col := w % (blockPixels / 4)
-				// Sample the reference at the candidate offset.
+			for row := 0; row < blockPixels; row++ {
+				// One reference-block row per ranged read: the row's
+				// column words plus the neighbour word that horizontal
+				// sub-word offsets shift in.
 				refRow := row + a.Search + dy
-				refCol := bx*(blockPixels/4) + col
-				refOff := refRow*widthWords + refCol
-				// Horizontal sub-word offsets read the next word too.
-				ref := c.Read32(strip, 4*(refOff%a.stripWords))
-				if dx != 0 {
-					ref ^= c.Read32(strip, 4*((refOff+1)%a.stripWords)) >> uint(abs(dx))
+				base := refRow*widthWords + bx*colWords
+				if base+colWords+1 <= a.stripWords {
+					c.ReadBlock(strip, 4*base, rowBuf)
+				} else {
+					// The last row of the strip wraps; fall back to
+					// word reads with the modulo the word loop used.
+					for k := range rowBuf {
+						rowBuf[k] = c.Read32(strip, 4*((base+k)%a.stripWords))
+					}
 				}
-				cur := c.Read32(block, 4*w)
-				sad += (ref ^ cur) & 0x00ff00ff
+				for col := 0; col < colWords; col++ {
+					ref := rowBuf[col]
+					if dx != 0 {
+						ref ^= rowBuf[col+1] >> uint(abs(dx))
+					}
+					cur := curBuf[row*colWords+col]
+					sad += (ref ^ cur) & 0x00ff00ff
+				}
 			}
 			c.Compute(a.ComputePerCand)
 			if sad < best {

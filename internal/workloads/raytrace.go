@@ -71,6 +71,7 @@ func (a *Raytrace) Worker(c *rt.Ctx, tile, tiles int) {
 	priv := c.PrivAlloc(32)
 	// Private shading tables walked per ray (Fig. 8's private-read band).
 	shade := c.PrivAlloc(1536)
+	cellBuf := make([]uint32, a.CellWords)
 	var tileSum uint32 // sum of per-task hashes: order-independent
 	for {
 		task, ok := a.queue.next(c)
@@ -82,13 +83,16 @@ func (a *Raytrace) Worker(c *rt.Ctx, tile, tiles int) {
 		for step := 0; step < a.StepsPerRay; step++ {
 			cell := a.cells[rnd.intn(a.Cells)]
 			c.EntryRO(cell)
-			// Intersect against every triangle: several reads of
-			// the same lines — the reuse SWCC converts to hits.
+			// One ranged read stages the cell's triangle tile; the
+			// intersection loop then re-reads it from the buffer — the
+			// reuse that per-word reads paid the memory system for on
+			// every sample.
+			c.ReadBlock(cell, 0, cellBuf)
 			for tri := 0; tri < a.TrisPerCell; tri++ {
 				base := (tri * 5) % (a.CellWords - 4)
-				v0 := c.Read32(cell, 4*base)
-				v1 := c.Read32(cell, 4*(base+1))
-				v2 := c.Read32(cell, 4*(base+2))
+				v0 := cellBuf[base]
+				v1 := cellBuf[base+1]
+				v2 := cellBuf[base+2]
 				c.Compute(a.ComputePerHit)
 				acc = acc*31 + (v0 ^ v1 ^ v2)
 				c.PWrite(priv, tri%32, acc)

@@ -103,10 +103,13 @@ func (a *Stencil) Worker(c *rt.Ctx, tile, tiles int) {
 	right := a.segs[(tile+1)%tiles]
 	own := a.segs[tile]
 	next := c.PrivAlloc(a.SegWords)
+	ownBuf := make([]uint32, a.SegWords)
+	outBuf := make([]uint32, a.SegWords)
 	sense := uint32(0)
 	for it := 0; it < a.Iters; it++ {
-		// Read phase: own segment plus the neighbours' boundary
-		// cells; everyone only reads, so the RO scopes are race-free.
+		// Read phase: the halo cells from the neighbours' segments, then
+		// the whole own segment as one ranged read; everyone only reads,
+		// so the RO scopes are race-free.
 		c.EntryRO(left)
 		lh := c.Read32(left, 4*(a.SegWords-1))
 		c.ExitRO(left)
@@ -114,24 +117,26 @@ func (a *Stencil) Worker(c *rt.Ctx, tile, tiles int) {
 		rh := c.Read32(right, 0)
 		c.ExitRO(right)
 		c.EntryRO(own)
+		c.ReadBlock(own, 0, ownBuf)
+		c.ExitRO(own)
 		prev := lh
 		for w := 0; w < a.SegWords; w++ {
-			cur := c.Read32(own, 4*w)
+			cur := ownBuf[w]
 			nxt := rh
 			if w+1 < a.SegWords {
-				nxt = c.Read32(own, 4*(w+1))
+				nxt = ownBuf[w+1]
 			}
 			c.PWrite(next, w, (prev+cur+nxt)/3)
 			prev = cur
 			c.Compute(6)
 		}
-		c.ExitRO(own)
 		sense = a.bar.wait(c, sense)
-		// Write phase: publish the new segment.
-		c.EntryX(own)
+		// Write phase: publish the new segment as one ranged write.
 		for w := 0; w < a.SegWords; w++ {
-			c.Write32(own, 4*w, c.PRead(next, w))
+			outBuf[w] = c.PRead(next, w)
 		}
+		c.EntryX(own)
+		c.WriteBlock(own, 0, outBuf)
 		c.ExitX(own)
 		sense = a.bar.wait(c, sense)
 	}

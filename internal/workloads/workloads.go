@@ -103,12 +103,16 @@ func ByName(name string) (App, bool) {
 		return DefaultReacquire(), true
 	case "pipeline":
 		return DefaultPipeline(), true
+	case "bulkcopy":
+		return DefaultBulkCopy(), true
+	case "bulkcopy-word":
+		return DefaultBulkCopyWord(), true
 	}
 	return nil, false
 }
 
 // Names lists the workloads ByName accepts.
-var Names = []string{"msgpass", "radiosity", "raytrace", "volrend", "mfifo", "motionest", "stencil", "reacquire", "pipeline"}
+var Names = []string{"msgpass", "radiosity", "raytrace", "volrend", "mfifo", "motionest", "stencil", "reacquire", "pipeline", "bulkcopy", "bulkcopy-word"}
 
 // Scaled is ByName with an optional CI-sized ("small") configuration: the
 // same shrunken parameters the experiment suite uses for quick runs. With
@@ -135,6 +139,11 @@ func Scaled(name string, small bool) (App, bool) {
 		a.Iters = 32
 	case *Pipeline:
 		a.Frames = 6
+	case *BulkCopy:
+		a.SlotWords, a.Rounds = 32, 2
+		if a.Chunk > 1 {
+			a.Chunk = 32
+		}
 	}
 	return app, true
 }

@@ -132,6 +132,16 @@ func LitmusByName(name string) (LitmusProgram, bool) { return litmus.ByName(name
 // LitmusFenceOn returns a location-scoped fence instruction (§IV-D).
 func LitmusFenceOn(loc string) LitmusInstr { return litmus.FenceOn(loc) }
 
+// LitmusReadBlock returns a ranged read of a (possibly multi-word)
+// location's whole width: word k is observed in register "reg@k" (word 0
+// keeps reg). Declare widths in LitmusProgram.Widths; the explorer lowers
+// block operations to per-word model operations.
+func LitmusReadBlock(loc, reg string) LitmusInstr { return litmus.ReadBlock(loc, reg) }
+
+// LitmusWriteBlock returns a ranged write of a location's whole width:
+// word k receives val+k, so torn or partial transfers are observable.
+func LitmusWriteBlock(loc string, val Value) LitmusInstr { return litmus.WriteBlock(loc, val) }
+
 // LitmusFingerprint returns the canonical fingerprint of a program,
 // invariant under renaming of the program, its locations and registers.
 func LitmusFingerprint(p LitmusProgram) string { return litmus.Fingerprint(p) }
@@ -226,8 +236,12 @@ type (
 	Ctx = rt.Ctx
 	// Object is an annotated shared object.
 	Object = rt.Object
-	// Backend implements the annotations for one architecture.
+	// Backend implements the annotations for one architecture,
+	// including the ranged data path (ReadRange/WriteRange).
 	Backend = rt.Backend
+	// WordBackend is the v1 word-granular backend surface; lift it to
+	// Backend with AdaptWordBackend.
+	WordBackend = rt.WordBackend
 	// Recorder verifies a run against the formal model.
 	Recorder = rt.Recorder
 	// ScopeRO is the Fig. 10 scoped read-only helper.
@@ -264,6 +278,11 @@ func BackendNames() []string { return append([]string(nil), rt.Backends...) }
 // BackendByName returns a backend by name.
 func BackendByName(name string) (Backend, error) { return rt.ByName(name) }
 
+// AdaptWordBackend lifts a word-granular backend to the ranged Backend
+// interface: ReadRange/WriteRange lower to one Read32/Write32 per word,
+// so v1 backends keep working unchanged under the v2 annotation API.
+func AdaptWordBackend(b WordBackend) Backend { return rt.AdaptWordBackend(b) }
+
 // NewRecorder attaches a model recorder to r (call before Alloc).
 func NewRecorder(r *Runtime) *Recorder { return rt.NewRecorder(r) }
 
@@ -298,6 +317,10 @@ var (
 	NewMFifo     = workloads.DefaultMFifo
 	NewMotionEst = workloads.DefaultMotionEst
 	NewMsgPass   = workloads.DefaultMsgPass
+	// NewBulkCopy is the transfer-granularity microbenchmark of the
+	// bulk-ablation experiment (block-granular; set Chunk to 1 for the
+	// word-granular twin).
+	NewBulkCopy = workloads.DefaultBulkCopy
 )
 
 // RunApp executes a workload on a fresh system with the named backend.
