@@ -40,16 +40,28 @@ func main() {
 		runApp   = flag.String("run", "", "run one workload (see -list) instead of an experiment")
 		backend  = flag.String("backend", "swcc", "backend for -run: "+strings.Join(pmc.BackendNames(), ", "))
 		traceOut = flag.String("trace", "", "with -run: write a Chrome-trace JSON of the run to this file")
+		clusters = flag.Int("clusters", 0, "with -run or -sweep: cluster count (0 = derived from the topology, 1 = flat)")
+		queue    = flag.String("queue", "wheel", `with -run or -sweep: event-queue implementation, "wheel" or "heap" (results identical)`)
 
 		sweepApps = flag.String("sweep", "", `comma-separated workloads to sweep ("splash" = radiosity,raytrace,volrend; "all" = every workload)`)
 		backends  = flag.String("backends", "nocc,swcc,dsm,spm", "with -sweep: comma-separated backend axis")
 		tileList  = flag.String("tilelist", "2,4,8,16,32", "with -sweep: comma-separated tile-count axis")
-		topo      = flag.String("topo", "ring", `with -sweep: NoC topology axis: "ring", "mesh" or "both"`)
+		topo      = flag.String("topo", "ring", `with -run or -sweep: NoC topology: "ring", "mesh", "cluster:<local>x<global>", or (sweeps only) "both"`)
 		parallel  = flag.Int("parallel", 0, "max concurrent simulations in sweeps and experiments (0 = GOMAXPROCS, 1 = sequential)")
 		jsonOut   = flag.String("json", "", `with -sweep: write the JSON result table to this file ("-" = stdout)`)
 		csvOut    = flag.String("csv", "", `with -sweep: write the CSV result table to this file ("-" = stdout)`)
 	)
 	flag.Parse()
+
+	// Platform-shape flags are validated here, before any simulation
+	// spins up: a bad value is a usage error (exit 2), not a run failure.
+	if err := checkClusters(*clusters, *tiles); err != nil {
+		fail(err)
+	}
+	qkind, err := pmc.ParseEventQueue(*queue)
+	if err != nil {
+		fail(usagef(`bad -queue %q (valid: wheel, heap)`, *queue))
+	}
 
 	switch {
 	case *list:
@@ -63,12 +75,12 @@ func main() {
 		}
 		return
 	case *sweepApps != "":
-		if err := runSweep(*sweepApps, *backends, *tileList, *topo, *scale, *parallel, *jsonOut, *csvOut); err != nil {
+		if err := runSweep(*sweepApps, *backends, *tileList, *topo, *scale, *clusters, qkind, *parallel, *jsonOut, *csvOut); err != nil {
 			fail(err)
 		}
 		return
 	case *runApp != "":
-		if err := runWorkload(*runApp, *backend, *tiles, *traceOut); err != nil {
+		if err := runWorkload(*runApp, *backend, *tiles, *topo, *clusters, qkind, *traceOut); err != nil {
 			fail(err)
 		}
 		return
@@ -98,6 +110,21 @@ func main() {
 	os.Exit(2)
 }
 
+// checkClusters validates the -clusters flag value against -tiles, at
+// flag-parse time: the address map bounds the cluster count, and tiles must
+// divide evenly into clusters.
+func checkClusters(clusters, tiles int) error {
+	switch {
+	case clusters < 0:
+		return usagef("-clusters must be non-negative, got %d", clusters)
+	case clusters > pmc.MaxClusters:
+		return usagef("-clusters %d exceeds the address map's maximum %d", clusters, pmc.MaxClusters)
+	case clusters > 1 && tiles > 0 && tiles%clusters != 0:
+		return usagef("-tiles %d does not divide evenly into %d clusters", tiles, clusters)
+	}
+	return nil
+}
+
 // checkScale validates the -scale flag value.
 func checkScale(scale string) error {
 	switch scale {
@@ -119,7 +146,7 @@ func knownExperiment(id string) bool {
 
 // runSweep expands the flag grid into a SweepSpec, runs it, and emits the
 // requested tables.
-func runSweep(apps, backends, tileList, topo, scale string, parallel int, jsonOut, csvOut string) error {
+func runSweep(apps, backends, tileList, topo, scale string, clusters int, qkind pmc.EventQueueKind, parallel int, jsonOut, csvOut string) error {
 	if err := checkScale(scale); err != nil {
 		return err
 	}
@@ -158,6 +185,9 @@ func runSweep(apps, backends, tileList, topo, scale string, parallel int, jsonOu
 		if err != nil {
 			return usagef("bad -tilelist entry %q: %v", s, err)
 		}
+		if clusters > 1 && t%clusters != 0 {
+			return usagef("-tilelist entry %d does not divide evenly into %d clusters", t, clusters)
+		}
 		spec.Tiles = append(spec.Tiles, t)
 	}
 	switch topo {
@@ -166,10 +196,19 @@ func runSweep(apps, backends, tileList, topo, scale string, parallel int, jsonOu
 	default:
 		tp, err := pmc.ParseTopology(topo)
 		if err != nil {
-			return usagef(`bad -topo %q (valid: ring, mesh, both)`, topo)
+			return usagef(`bad -topo %q (valid: ring, mesh, cluster:<local>x<global>, both)`, topo)
 		}
 		spec.Topos = []pmc.NoCTopology{tp}
 	}
+	base := pmc.DefaultConfig()
+	base.Clusters = clusters
+	base.EventQueue = qkind
+	for _, t := range spec.Tiles {
+		if need := pmc.MinSDRAMBytes(t); need > base.SDRAMBytes {
+			base.SDRAMBytes = need
+		}
+	}
+	spec.Base = &base
 
 	// A failed cell does not void the batch: Sweep still returns every
 	// completed row (failures carry a per-row err), so emit what ran and
@@ -235,7 +274,7 @@ func emit(path string, write func(w io.Writer) error) error {
 }
 
 // runWorkload executes one workload, optionally exporting a Chrome trace.
-func runWorkload(name, backend string, tiles int, traceOut string) error {
+func runWorkload(name, backend string, tiles int, topo string, clusters int, qkind pmc.EventQueueKind, traceOut string) error {
 	app, ok := pmc.AppByName(name)
 	if !ok {
 		return usagef("unknown workload %q (have %s)", name, strings.Join(pmc.AppNames(), ", "))
@@ -247,8 +286,17 @@ func runWorkload(name, backend string, tiles int, traceOut string) error {
 	if tiles > 0 {
 		cfg.Tiles = tiles
 	}
+	tp, err := pmc.ParseTopology(topo)
+	if err != nil {
+		return usagef(`bad -topo %q (valid with -run: ring, mesh, cluster:<local>x<global>)`, topo)
+	}
+	cfg.NoC.Topology = tp
+	cfg.Clusters = clusters
+	cfg.EventQueue = qkind
+	if need := pmc.MinSDRAMBytes(cfg.Tiles); need > cfg.SDRAMBytes {
+		cfg.SDRAMBytes = need
+	}
 	var res *pmc.Result
-	var err error
 	if traceOut != "" {
 		var tr *pmc.Trace
 		res, tr, err = pmc.RunAppTraced(app, cfg, backend, 0)

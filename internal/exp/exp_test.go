@@ -23,7 +23,7 @@ func TestRegistryComplete(t *testing.T) {
 		"ablation-locks", "ablation-release", "ablation-scaling", "ablation-dcache", "ablation-granularity",
 		"ablation-explorer", "bulk-ablation",
 		"ext-stencil", "ext-pc", "ext-scoped-fence", "ext-mesh", "ext-conformance",
-		"sweep-scaling", "fuzz",
+		"sweep-scaling", "sweep-clusters", "fuzz",
 	}
 	for _, id := range want {
 		if _, ok := ByID(id); !ok {
@@ -70,6 +70,20 @@ func TestSweepScalingSmall(t *testing.T) {
 		"mesh", "ring", "flit-hops", "speedup"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("sweep-scaling missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+// TestSweepClustersSmall: the cluster-scaling grid completes at CI size, the
+// checksum-portability assertion inside the experiment holds (a failure
+// surfaces as an experiment error), and the report includes the 1024-tile
+// smoke cell plus the hierarchical flit-hop split.
+func TestSweepClustersSmall(t *testing.T) {
+	out := small(t, "sweep-clusters")
+	for _, want := range []string{"radiosity", "nocc", "dsm", "cdsm", "cspm",
+		"cluster:8xring", "cluster:16xmesh", "1024-tile smoke", "local/global", "speedup"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("sweep-clusters missing %q in:\n%s", want, out)
 		}
 	}
 }

@@ -1,0 +1,195 @@
+package noc
+
+import (
+	"strings"
+	"testing"
+
+	"pmc/internal/mem"
+	"pmc/internal/sim"
+)
+
+func buildTopo(tiles int, topo Topology) (*sim.Kernel, *Network) {
+	k := sim.New()
+	locals := make([]*mem.Local, tiles)
+	for i := range locals {
+		locals[i] = mem.NewLocal(i, 0, 4096)
+	}
+	n, err := New(k, Config{Tiles: tiles, HopLat: 2, FlitSize: 4, InjLat: 2, Topology: topo}, locals)
+	if err != nil {
+		panic(err)
+	}
+	return k, n
+}
+
+func TestParseTopologyCluster(t *testing.T) {
+	good := []struct {
+		s    string
+		want Topology
+	}{
+		{"cluster:16xring", ClusterTopo(16, KindRing)},
+		{"cluster:4xmesh", ClusterTopo(4, KindMesh)},
+		{"cluster:1xring", ClusterTopo(1, KindRing)},
+	}
+	for _, tc := range good {
+		got, err := ParseTopology(tc.s)
+		if err != nil || got != tc.want {
+			t.Errorf("ParseTopology(%q) = %+v, %v; want %+v", tc.s, got, err, tc.want)
+		}
+		if got.String() != tc.s {
+			t.Errorf("%q round-trips to %q", tc.s, got.String())
+		}
+	}
+	bad := []struct{ s, hint string }{
+		{"cluster:", "cluster:<local>x<global>"},
+		{"cluster:16", "cluster:<local>x<global>"},
+		{"cluster:xmesh", "positive integer"},
+		{"cluster:-4xmesh", "positive integer"},
+		{"cluster:0xring", "positive integer"},
+		{"cluster:axring", "positive integer"},
+		{"cluster:4xtorus", "must be ring or mesh"},
+		{"cluster:4x", "must be ring or mesh"},
+		{"clusters:4xring", "valid: ring, mesh, cluster:<local>x<global>"},
+	}
+	for _, tc := range bad {
+		_, err := ParseTopology(tc.s)
+		if err == nil {
+			t.Errorf("ParseTopology(%q) accepted", tc.s)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.hint) {
+			t.Errorf("ParseTopology(%q) error %q lacks %q", tc.s, err, tc.hint)
+		}
+	}
+}
+
+func TestClusterValidate(t *testing.T) {
+	base := Config{Tiles: 32, HopLat: 2, FlitSize: 4, InjLat: 2}
+	cases := []struct {
+		mutate func(*Config)
+		hint   string
+	}{
+		{func(c *Config) { c.Topology = ClusterTopo(5, KindRing) }, "do not divide into clusters of 5"},
+		{func(c *Config) { c.Topology = Topology{Kind: KindCluster} }, "positive tiles-per-cluster"},
+		{func(c *Config) { c.Topology = Topology{Kind: KindCluster, Local: 8, Global: KindCluster} }, "backbone must be ring or mesh"},
+		{func(c *Config) { c.Topology = TopoMesh; c.MeshW = 5 }, "mesh width 5 does not tile 32 tiles"},
+	}
+	for _, tc := range cases {
+		cfg := base
+		tc.mutate(&cfg)
+		err := cfg.Validate()
+		if err == nil {
+			t.Errorf("config %+v accepted", cfg)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.hint) {
+			t.Errorf("error %q lacks %q", err, tc.hint)
+		}
+	}
+	ok := base
+	ok.Topology = ClusterTopo(8, KindMesh)
+	if err := ok.Validate(); err != nil {
+		t.Errorf("valid cluster config rejected: %v", err)
+	}
+	ok = base
+	ok.Topology = TopoMesh
+	ok.MeshW = 8 // 8x4 mesh: non-square but tiles the count
+	if err := ok.Validate(); err != nil {
+		t.Errorf("valid mesh width rejected: %v", err)
+	}
+}
+
+// TestClusterHops pins the hierarchical hop model: 1 crossbar hop inside a
+// cluster; 1 up + backbone + 1 down between clusters.
+func TestClusterHops(t *testing.T) {
+	_, n := buildTopo(64, ClusterTopo(16, KindRing)) // 4 clusters on a ring
+	cases := []struct{ a, b, want int }{
+		{0, 15, 1}, // same cluster: crossbar
+		{3, 4, 1},  // same cluster, adjacent IDs
+		{0, 16, 3}, // neighbour cluster: 1 + 1 + 1
+		{0, 32, 4}, // two clusters away: 1 + 2 + 1
+		{0, 48, 3}, // ring wraps: cluster 3 is one hop back
+		{63, 0, 3}, // wrap the other way
+	}
+	for _, c := range cases {
+		if got := n.Hops(c.a, c.b); got != c.want {
+			t.Errorf("cluster Hops(%d,%d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+	// Mesh backbone: 16 clusters on a 4x4 mesh.
+	_, nm := buildTopo(64, ClusterTopo(4, KindMesh))
+	if got := nm.Hops(0, 63); got != 1+6+1 { // cluster 0 -> 15: opposite mesh corners
+		t.Errorf("mesh-backbone corner hops = %d, want 8", got)
+	}
+}
+
+// TestClusterFlitHopSplit: intra-cluster traffic counts as local, backbone
+// hops as global, and the total stays the sum.
+func TestClusterFlitHopSplit(t *testing.T) {
+	k, n := buildTopo(32, ClusterTopo(8, KindRing))
+	k.Spawn("src", func(p *sim.Proc) {
+		n.PostWrite32(0, 1, 0x10, 1) // same cluster: 1 local hop
+		n.PostWrite32(0, 8, 0x10, 2) // next cluster: 2 local + 1 global
+		p.Wait(100)
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	st := n.Stats()
+	if st.LocalFlitHops != 3 || st.GlobalFlitHops != 1 {
+		t.Errorf("split = local %d / global %d, want 3 / 1", st.LocalFlitHops, st.GlobalFlitHops)
+	}
+	if st.FlitHops != st.LocalFlitHops+st.GlobalFlitHops {
+		t.Errorf("total %d != local %d + global %d", st.FlitHops, st.LocalFlitHops, st.GlobalFlitHops)
+	}
+}
+
+// TestGlobalHopLat: backbone hops can be clocked slower than local hops.
+func TestGlobalHopLat(t *testing.T) {
+	k := sim.New()
+	locals := make([]*mem.Local, 32)
+	for i := range locals {
+		locals[i] = mem.NewLocal(i, 0, 4096)
+	}
+	cfg := Config{Tiles: 32, HopLat: 2, FlitSize: 4, InjLat: 2,
+		Topology: ClusterTopo(8, KindRing), GlobalHopLat: 10}
+	n, err := New(k, cfg, locals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 0 -> 8: inj 2 + 2 local hops x 2 + 1 global hop x 10 = 16.
+	if got := n.ControlLatency(0, 8, 4); got != 16 {
+		t.Errorf("cross-cluster latency = %d, want 16", got)
+	}
+	// 0 -> 1: inj 2 + 1 local hop x 2 = 4 (GlobalHopLat unused).
+	if got := n.ControlLatency(0, 1, 4); got != 4 {
+		t.Errorf("intra-cluster latency = %d, want 4", got)
+	}
+}
+
+// TestMemResolver: a delivery whose address resolves to another memory
+// (the cluster scratch case) must land there, not in the tile-local
+// memory.
+func TestMemResolver(t *testing.T) {
+	k, n := buildTopo(8, ClusterTopo(4, KindRing))
+	scratch := mem.NewLocal(-1, 0x4000_0000, 4096)
+	n.SetMemResolver(func(dst int, addr mem.Addr) *mem.Local {
+		if addr >= 0x4000_0000 && addr < 0x8000_0000 {
+			return scratch
+		}
+		return n.locals[dst]
+	})
+	k.Spawn("src", func(p *sim.Proc) {
+		n.PostWrite32(0, 5, 0x4000_0010, 99)
+		n.PostWrite32(0, 5, 0x20, 7)
+		p.Wait(100)
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if v := scratch.Read32(0x4000_0010); v != 99 {
+		t.Errorf("cluster-scratch delivery = %d, want 99", v)
+	}
+	if v := n.locals[5].Read32(0x20); v != 7 {
+		t.Errorf("tile-local delivery = %d, want 7", v)
+	}
+}

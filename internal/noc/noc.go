@@ -13,31 +13,78 @@ package noc
 
 import (
 	"fmt"
+	"strconv"
+	"strings"
 
 	"pmc/internal/mem"
 	"pmc/internal/sim"
 )
 
-// Topology selects the interconnect shape.
-type Topology uint8
+// Kind is a basic interconnect shape.
+type Kind uint8
 
 const (
-	// TopoRing is a bidirectional ring (the default).
-	TopoRing Topology = iota
-	// TopoMesh is a 2-D mesh with XY routing; the mesh is the smallest
-	// square that fits the tile count.
-	TopoMesh
+	// KindRing is a bidirectional ring.
+	KindRing Kind = iota
+	// KindMesh is a 2-D mesh with XY routing.
+	KindMesh
+	// KindCluster is the hierarchical topology: a single-hop crossbar
+	// inside each cluster of tiles, with a ring or mesh backbone between
+	// cluster routers.
+	KindCluster
 )
 
-// String names the topology.
-func (t Topology) String() string {
-	if t == TopoMesh {
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindMesh:
 		return "mesh"
+	case KindCluster:
+		return "cluster"
 	}
 	return "ring"
 }
 
-// ParseTopology converts a topology name ("ring" or "mesh") to a Topology.
+// Topology selects the interconnect shape. It is a comparable value: the
+// zero value is the flat ring. Flat topologies use only Kind; the cluster
+// topology additionally carries the cluster size and the backbone kind.
+type Topology struct {
+	// Kind is the overall shape.
+	Kind Kind
+	// Local is the number of tiles per cluster (KindCluster only).
+	Local int
+	// Global is the inter-cluster backbone, ring or mesh (KindCluster
+	// only).
+	Global Kind
+}
+
+// Flat topologies, named for convenience.
+var (
+	// TopoRing is the flat bidirectional ring (the default).
+	TopoRing = Topology{Kind: KindRing}
+	// TopoMesh is the flat 2-D mesh; by default the mesh is the smallest
+	// square that fits the tile count (see Config.MeshW).
+	TopoMesh = Topology{Kind: KindMesh}
+)
+
+// ClusterTopo returns the hierarchical topology with local tiles per
+// cluster and the given inter-cluster backbone.
+func ClusterTopo(local int, global Kind) Topology {
+	return Topology{Kind: KindCluster, Local: local, Global: global}
+}
+
+// String names the topology; cluster topologies render as
+// "cluster:<local>x<global>", the syntax ParseTopology accepts.
+func (t Topology) String() string {
+	if t.Kind == KindCluster {
+		return fmt.Sprintf("cluster:%dx%s", t.Local, t.Global)
+	}
+	return t.Kind.String()
+}
+
+// ParseTopology converts a topology spec to a Topology: "ring", "mesh", or
+// "cluster:<local>x<global>" where <local> is the tiles-per-cluster count
+// and <global> is the backbone ("ring" or "mesh") — e.g. "cluster:16xmesh".
 func ParseTopology(s string) (Topology, error) {
 	switch s {
 	case "ring":
@@ -45,16 +92,44 @@ func ParseTopology(s string) (Topology, error) {
 	case "mesh":
 		return TopoMesh, nil
 	}
-	return 0, fmt.Errorf("noc: unknown topology %q (valid: ring, mesh)", s)
+	if spec, ok := strings.CutPrefix(s, "cluster:"); ok {
+		localStr, globalStr, ok := strings.Cut(spec, "x")
+		if !ok {
+			return Topology{}, fmt.Errorf("noc: cluster topology %q: want cluster:<local>x<global>, e.g. cluster:16xmesh", s)
+		}
+		local, err := strconv.Atoi(localStr)
+		if err != nil || local <= 0 {
+			return Topology{}, fmt.Errorf("noc: cluster topology %q: tiles per cluster %q must be a positive integer", s, localStr)
+		}
+		var global Kind
+		switch globalStr {
+		case "ring":
+			global = KindRing
+		case "mesh":
+			global = KindMesh
+		default:
+			return Topology{}, fmt.Errorf("noc: cluster topology %q: backbone %q must be ring or mesh", s, globalStr)
+		}
+		return ClusterTopo(local, global), nil
+	}
+	return Topology{}, fmt.Errorf("noc: unknown topology %q (valid: ring, mesh, cluster:<local>x<global>)", s)
 }
 
 // Config sets the network's size and timing.
 type Config struct {
 	Tiles    int      // number of tiles
-	HopLat   sim.Time // cycles per hop
+	HopLat   sim.Time // cycles per hop (intra-cluster and flat links)
 	FlitSize int      // payload bytes carried per flit cycle
 	InjLat   sim.Time // fixed injection (network-interface) latency
-	Topology Topology // ring (default) or 2-D mesh
+	Topology Topology // ring (default), mesh, or cluster
+	// GlobalHopLat is the cycles per hop on the inter-cluster backbone
+	// (KindCluster only); 0 means HopLat. Backbone links are longer
+	// wires, so real designs clock them slower.
+	GlobalHopLat sim.Time
+	// MeshW is the mesh width (KindMesh only); 0 picks the smallest
+	// square that fits the tile count. A non-zero width must tile the
+	// count exactly.
+	MeshW int
 }
 
 // DefaultConfig matches the 32-tile system of the paper.
@@ -62,8 +137,9 @@ func DefaultConfig() Config {
 	return Config{Tiles: 32, HopLat: 2, FlitSize: 4, InjLat: 2}
 }
 
-// Bounds on a sane configuration: lastArrival is Tiles² entries, and the
-// latency arithmetic must stay far from wrapping sim.Time.
+// Bounds on a sane configuration: per-flow FIFO state is per (src, dst)
+// pair (allocated lazily per source), and the latency arithmetic must stay
+// far from wrapping sim.Time.
 const (
 	maxTiles = 4096
 	maxLat   = sim.Time(1) << 32
@@ -97,14 +173,39 @@ func (c Config) Validate() error {
 	if c.InjLat > maxLat {
 		return fmt.Errorf("noc: injection latency %d unreasonably large", c.InjLat)
 	}
+	if c.GlobalHopLat > maxLat {
+		return fmt.Errorf("noc: global hop latency %d unreasonably large", c.GlobalHopLat)
+	}
+	switch c.Topology.Kind {
+	case KindMesh:
+		if c.MeshW > 0 && c.Tiles%c.MeshW != 0 {
+			return fmt.Errorf("noc: mesh width %d does not tile %d tiles", c.MeshW, c.Tiles)
+		}
+	case KindCluster:
+		t := c.Topology
+		if t.Local <= 0 {
+			return fmt.Errorf("noc: cluster topology needs a positive tiles-per-cluster count, got %d", t.Local)
+		}
+		if c.Tiles%t.Local != 0 {
+			return fmt.Errorf("noc: %d tiles do not divide into clusters of %d", c.Tiles, t.Local)
+		}
+		if t.Global != KindRing && t.Global != KindMesh {
+			return fmt.Errorf("noc: cluster backbone must be ring or mesh, got %v", t.Global)
+		}
+	}
 	return nil
 }
 
-// Stats counts network activity.
+// Stats counts network activity. FlitHops is the total (a proxy for link
+// energy/occupancy); on the cluster topology it additionally splits into
+// the intra-cluster and backbone shares (flat topologies count everything
+// as local).
 type Stats struct {
-	Messages uint64
-	Bytes    uint64
-	FlitHops uint64 // flits × hops, a proxy for link energy/occupancy
+	Messages       uint64
+	Bytes          uint64
+	FlitHops       uint64 // flits × hops, all links
+	LocalFlitHops  uint64 // flits × hops on intra-cluster / flat links
+	GlobalFlitHops uint64 // flits × hops on the inter-cluster backbone
 }
 
 // Network is the write-only interconnect. Delivery mutates destination
@@ -115,10 +216,23 @@ type Network struct {
 	cfg    Config
 	locals []*mem.Local
 
-	// lastArrival[src*Tiles+dst] enforces per-flow FIFO delivery.
-	lastArrival []sim.Time
-	// meshW is the mesh edge length (TopoMesh only).
+	// flows[src][dst] enforces per-flow FIFO delivery. Rows are
+	// allocated on a source's first message: the dense Tiles² array was
+	// 8 MiB per 1024-tile cell and adjacent sweep workers false-shared
+	// it through the allocator; per-source rows keep each flow's state
+	// compact and private to the cells that actually communicate.
+	flows [][]sim.Time
+	// meshW is the mesh edge length (flat mesh only).
 	meshW int
+	// clusterMeshW is the backbone mesh edge length (cluster topology
+	// with a mesh backbone only).
+	clusterMeshW int
+
+	// resolve maps a delivery (dst tile, address) to the memory the
+	// write lands in. The default resolves to the destination tile's
+	// local memory; the SoC layer overrides it to route cluster-scratch
+	// addresses to the cluster memory (SetMemResolver).
+	resolve func(dst int, addr mem.Addr) *mem.Local
 
 	stats Stats
 }
@@ -135,18 +249,40 @@ func New(k *sim.Kernel, cfg Config, locals []*mem.Local) (*Network, error) {
 		return nil, fmt.Errorf("noc: %d locals for %d tiles", len(locals), cfg.Tiles)
 	}
 	n := &Network{
-		k:           k,
-		cfg:         cfg,
-		locals:      locals,
-		lastArrival: make([]sim.Time, cfg.Tiles*cfg.Tiles),
+		k:      k,
+		cfg:    cfg,
+		locals: locals,
+		flows:  make([][]sim.Time, cfg.Tiles),
 	}
-	if cfg.Topology == TopoMesh {
-		n.meshW = 1
-		for n.meshW*n.meshW < cfg.Tiles {
-			n.meshW++
+	n.resolve = func(dst int, addr mem.Addr) *mem.Local { return n.locals[dst] }
+	squareUp := func(count int) int {
+		w := 1
+		for w*w < count {
+			w++
+		}
+		return w
+	}
+	switch cfg.Topology.Kind {
+	case KindMesh:
+		if cfg.MeshW > 0 {
+			n.meshW = cfg.MeshW
+		} else {
+			n.meshW = squareUp(cfg.Tiles)
+		}
+	case KindCluster:
+		if cfg.Topology.Global == KindMesh {
+			n.clusterMeshW = squareUp(cfg.Tiles / cfg.Topology.Local)
 		}
 	}
 	return n, nil
+}
+
+// SetMemResolver overrides how a delivery's (destination tile, address) is
+// mapped to a destination memory. The SoC layer installs a resolver that
+// routes cluster-scratch addresses to the destination tile's cluster
+// memory; everything else stays in the tile's local memory.
+func (n *Network) SetMemResolver(f func(dst int, addr mem.Addr) *mem.Local) {
+	n.resolve = f
 }
 
 // Config returns the network configuration.
@@ -155,22 +291,49 @@ func (n *Network) Config() Config { return n.cfg }
 // Stats returns a copy of the counters.
 func (n *Network) Stats() Stats { return n.stats }
 
-// Hops returns the routing distance between two tiles: shortest ring
-// distance, or Manhattan distance under XY routing on the mesh.
-func (n *Network) Hops(src, dst int) int {
-	if n.cfg.Topology == TopoMesh {
+// route returns the hop counts a message takes between two tiles, split
+// into local (intra-cluster or flat) and global (backbone) links:
+//
+//   - flat ring: shortest ring distance, all local;
+//   - flat mesh: Manhattan distance under XY routing, all local;
+//   - cluster: one crossbar hop within a cluster; between clusters, one
+//     hop up to the source cluster's router, the backbone ring/mesh
+//     distance, and one hop down to the destination tile.
+func (n *Network) route(src, dst int) (local, global int) {
+	switch n.cfg.Topology.Kind {
+	case KindMesh:
 		sx, sy := src%n.meshW, src/n.meshW
 		dx, dy := dst%n.meshW, dst/n.meshW
-		return abs(sx-dx) + abs(sy-dy)
+		return abs(sx-dx) + abs(sy-dy), 0
+	case KindCluster:
+		cl := n.cfg.Topology.Local
+		sc, dc := src/cl, dst/cl
+		if sc == dc {
+			return 1, 0
+		}
+		clusters := n.cfg.Tiles / cl
+		if n.cfg.Topology.Global == KindMesh {
+			sx, sy := sc%n.clusterMeshW, sc/n.clusterMeshW
+			dx, dy := dc%n.clusterMeshW, dc/n.clusterMeshW
+			return 2, abs(sx-dx) + abs(sy-dy)
+		}
+		d := abs(sc - dc)
+		if r := clusters - d; r < d {
+			d = r
+		}
+		return 2, d
 	}
-	d := src - dst
-	if d < 0 {
-		d = -d
-	}
+	d := abs(src - dst)
 	if r := n.cfg.Tiles - d; r < d {
 		d = r
 	}
-	return d
+	return d, 0
+}
+
+// Hops returns the total routing distance between two tiles.
+func (n *Network) Hops(src, dst int) int {
+	local, global := n.route(src, dst)
+	return local + global
 }
 
 func abs(x int) int {
@@ -180,13 +343,23 @@ func abs(x int) int {
 	return x
 }
 
+// globalHopLat is the per-hop latency of backbone links.
+func (n *Network) globalHopLat() sim.Time {
+	if n.cfg.GlobalHopLat != 0 {
+		return n.cfg.GlobalHopLat
+	}
+	return n.cfg.HopLat
+}
+
 // latency returns the head-arrival latency for a payload of size bytes.
 func (n *Network) latency(src, dst, size int) sim.Time {
 	flits := (size + n.cfg.FlitSize - 1) / n.cfg.FlitSize
 	if flits == 0 {
 		flits = 1
 	}
-	return n.cfg.InjLat + sim.Time(n.Hops(src, dst))*n.cfg.HopLat + sim.Time(flits-1)
+	local, global := n.route(src, dst)
+	return n.cfg.InjLat + sim.Time(local)*n.cfg.HopLat +
+		sim.Time(global)*n.globalHopLat() + sim.Time(flits-1)
 }
 
 // ControlLatency returns the head-arrival latency of a control message of
@@ -203,18 +376,25 @@ func (n *Network) ControlLatency(src, dst, size int) sim.Time {
 // message on flow src→dst injected at base.
 func (n *Network) arrivalAt(base sim.Time, src, dst, size int) sim.Time {
 	at := base + n.latency(src, dst, size)
-	idx := src*n.cfg.Tiles + dst
-	if at <= n.lastArrival[idx] {
-		at = n.lastArrival[idx] + 1
+	row := n.flows[src]
+	if row == nil {
+		row = make([]sim.Time, n.cfg.Tiles)
+		n.flows[src] = row
 	}
-	n.lastArrival[idx] = at
+	if at <= row[dst] {
+		at = row[dst] + 1
+	}
+	row[dst] = at
 	flits := (size + n.cfg.FlitSize - 1) / n.cfg.FlitSize
 	if flits == 0 {
 		flits = 1
 	}
+	local, global := n.route(src, dst)
 	n.stats.Messages++
 	n.stats.Bytes += uint64(size)
-	n.stats.FlitHops += uint64(flits * n.Hops(src, dst))
+	n.stats.FlitHops += uint64(flits * (local + global))
+	n.stats.LocalFlitHops += uint64(flits * local)
+	n.stats.GlobalFlitHops += uint64(flits * global)
 	return at
 }
 
@@ -239,7 +419,7 @@ func (n *Network) PostWriteDelayed(src, dst int, addr mem.Addr, data []byte, ear
 	}
 	at := n.arrivalAt(base, src, dst, len(data))
 	buf := append([]byte(nil), data...)
-	n.k.ScheduleAt(at, func() { n.locals[dst].NoCWriteBlock(addr, buf) })
+	n.k.ScheduleAt(at, func() { n.resolve(dst, addr).NoCWriteBlock(addr, buf) })
 	return at
 }
 
@@ -252,7 +432,7 @@ func (n *Network) PostWrite(src, dst int, addr mem.Addr, data []byte) (delivered
 	}
 	at := n.arrival(src, dst, len(data))
 	buf := append([]byte(nil), data...) // snapshot sender's data now
-	n.k.ScheduleAt(at, func() { n.locals[dst].NoCWriteBlock(addr, buf) })
+	n.k.ScheduleAt(at, func() { n.resolve(dst, addr).NoCWriteBlock(addr, buf) })
 	return at
 }
 
@@ -281,7 +461,10 @@ func (n *Network) PostWriteFan(src int, dsts []int, addrOf func(dst int) mem.Add
 		}
 		at := n.arrivalAt(base+sim.Time(i*flits), src, dst, len(data))
 		dst := dst
-		n.k.ScheduleAt(at, func() { n.locals[dst].NoCWriteBlock(addrOf(dst), buf) })
+		n.k.ScheduleAt(at, func() {
+			addr := addrOf(dst)
+			n.resolve(dst, addr).NoCWriteBlock(addr, buf)
+		})
 		if at > last {
 			last = at
 		}

@@ -35,6 +35,7 @@ import (
 	"pmc/internal/fuzz"
 	"pmc/internal/litmus"
 	"pmc/internal/noc"
+	"pmc/internal/rt"
 	"pmc/internal/sim"
 	"pmc/internal/soc"
 	"pmc/internal/workloads"
@@ -332,6 +333,12 @@ func runSim(sb *SimBench) ([]Metric, error) {
 			return nil, err
 		}
 		cfg.NoC.Topology = topo
+	}
+	// Large entries outgrow the default memory map (its per-tile private
+	// heaps stop at 48 tiles); the guard leaves every ≤32-tile entry — and
+	// so every recorded baseline metric — untouched.
+	if need := rt.MinSDRAMBytes(cfg.Tiles); need > cfg.SDRAMBytes {
+		cfg.SDRAMBytes = need
 	}
 	res, err := workloads.Run(app, cfg, sb.Backend)
 	if err != nil {

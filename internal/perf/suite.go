@@ -46,6 +46,12 @@ func ciSuite() []Entry {
 			simE("sim/bulkcopy/"+b+"/8t", "bulkcopy", b, 8, "", true),
 		)
 	}
+	// Clustered platform: the hierarchical topology at 64 tiles, pinning
+	// the cluster-aware backends against flat dsm on the same shape.
+	for _, b := range []string{"dsm", "cdsm", "cspm"} {
+		es = append(es, simE("sim/radiosity/"+b+"/64t/c8xring", "radiosity", b, 64, "cluster:8xring", true))
+	}
+	es = append(es, simE("sim/mfifo/cdsm/16t/c4xmesh", "mfifo", "cdsm", 16, "cluster:4xmesh", true))
 	// Litmus: the three engine modes on sb-drf (tree is the reference
 	// semantics), the annotated Fig. 5 program, and the state-collapse
 	// stress program that only the memoized engines can finish.
@@ -82,6 +88,10 @@ func fullSuite() []Entry {
 			simE("sim/bulkcopy/"+b+"/32t", "bulkcopy", b, 32, "", false),
 		)
 	}
+	for _, b := range []string{"dsm", "cdsm", "cspm"} {
+		es = append(es, simE("sim/radiosity/"+b+"/256t/c16xmesh", "radiosity", b, 256, "cluster:16xmesh", false))
+	}
+	es = append(es, simE("sim/radiosity/cdsm/1024t/c32xmesh", "radiosity", "cdsm", 1024, "cluster:32xmesh", false))
 	es = append(es,
 		lit("litmus/wrc-drf/tree", "wrc-drf", 1, false),
 		lit("litmus/wrc-drf/memo", "wrc-drf", 1, true),

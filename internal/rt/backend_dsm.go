@@ -74,6 +74,18 @@ func (b *dsmBackend) initReplicas(rt *Runtime, o *Object, words []uint32) {
 	}
 }
 
+// readCanonical returns the authoritative copy: the replica of the tile
+// that last held the object exclusively (zero value: tile 0).
+func (b *dsmBackend) readCanonical(rt *Runtime, o *Object, wordIdx int) uint32 {
+	t := b.lastWriter[o.ID]
+	return rt.Sys.Locals[t].Read32(b.replicaAddr(t, o) + mem.Addr(4*wordIdx))
+}
+
+// heapLimit bounds the shared heap to the per-tile local memory size.
+func (b *dsmBackend) heapLimit(rt *Runtime) int {
+	return rt.Sys.Cfg.LocalBytes
+}
+
 func (b *dsmBackend) EntryX(c *Ctx, o *Object) {
 	c.T.AcquireLock(c.P, o.LockID)
 	b.lastWriter[o.ID] = c.T.ID

@@ -44,6 +44,15 @@ const (
 	privStride = mem.Addr(0x0004_0000)
 )
 
+// MinSDRAMBytes returns the smallest SDRAM size whose memory map holds the
+// per-tile private heaps of a system with the given tile count, plus one
+// stride of headroom for the central lock table at the top. The default
+// 32 MiB of soc.DefaultConfig covers the paper's 32 tiles but stops at 48;
+// kilotile configurations must scale SDRAM with this.
+func MinSDRAMBytes(tiles int) int {
+	return int(privBase + mem.Addr(tiles+1)*privStride)
+}
+
 // AtomicSize is the largest object the platform reads and writes
 // indivisibly (one 32-bit bus word). The model speaks of bytes; on the
 // 32-bit MicroBlaze an aligned word is indivisible, so entry_ro of objects
@@ -179,6 +188,19 @@ func WriteRangeByWords(b WordBackend, c *Ctx, o *Object, off int, src []uint32) 
 	}
 }
 
+// replicated is the capability of backends that keep full replicas of the
+// shared heap outside the canonical SDRAM copy (dsm per tile, cdsm per
+// cluster). The runtime uses it to pre-load replicas, to read the
+// authoritative copy after a run, and to bound the heap to the replica
+// capacity. Asserted as an interface so it promotes through wrappers that
+// embed a Backend (e.g. the fault-injecting decorator).
+type replicated interface {
+	initReplicas(rt *Runtime, o *Object, words []uint32)
+	readCanonical(rt *Runtime, o *Object, wordIdx int) uint32
+	// heapLimit is the replica capacity in bytes.
+	heapLimit(rt *Runtime) int
+}
+
 // Violation is a breach of the annotation discipline detected at run time.
 type Violation struct {
 	Tile int
@@ -215,12 +237,31 @@ type Runtime struct {
 
 	workers []*Ctx
 	nextCtx int
+
+	// clusterArenas are the per-cluster scratch allocators of the cspm
+	// backend, shared by all member workers (lazily sized to the cluster
+	// count).
+	clusterArenas []spmArena
+}
+
+// clusterArena returns cluster cl's scratch staging allocator, initializing
+// it over the full scratch on first use.
+func (rt *Runtime) clusterArena(cl int) *spmArena {
+	if rt.clusterArenas == nil {
+		rt.clusterArenas = make([]spmArena, len(rt.Sys.Clusters))
+	}
+	a := &rt.clusterArenas[cl]
+	if !a.inited {
+		a.init(rt.Sys.Cfg.ClusterMemBytes())
+	}
+	return a
 }
 
 // Backends lists the selectable backend names.
-var Backends = []string{"nocc", "swcc", "swcc-lazy", "dsm", "spm"}
+var Backends = []string{"nocc", "swcc", "swcc-lazy", "dsm", "spm", "cdsm", "cspm"}
 
-// ByName returns a fresh backend by name: nocc, swcc, swcc-lazy, dsm, spm.
+// ByName returns a fresh backend by name: nocc, swcc, swcc-lazy, dsm, spm,
+// cdsm, cspm.
 func ByName(name string) (Backend, error) {
 	switch name {
 	case "nocc", "sc":
@@ -233,6 +274,10 @@ func ByName(name string) (Backend, error) {
 		return DSM(), nil
 	case "spm":
 		return SPM(), nil
+	case "cdsm":
+		return CDSM(), nil
+	case "cspm":
+		return CSPM(), nil
 	}
 	return nil, fmt.Errorf("rt: unknown backend %q (have %v)", name, Backends)
 }
@@ -270,9 +315,11 @@ func (rt *Runtime) Alloc(name string, size int) *Object {
 		LockID: len(rt.objects),
 	}
 	rt.heapNext = addr + mem.Addr((size+int(line)-1)/int(line))*line
-	if int(rt.heapNext) > rt.Sys.Cfg.LocalBytes && rt.B.Name() == "dsm" {
-		panic(fmt.Sprintf("rt: dsm shared heap (%#x) exceeds local memory (%#x): shrink the working set",
-			rt.heapNext, rt.Sys.Cfg.LocalBytes))
+	if d, ok := rt.B.(replicated); ok {
+		if limit := d.heapLimit(rt); int(rt.heapNext) > limit {
+			panic(fmt.Sprintf("rt: %s shared heap (%#x) exceeds replica memory (%#x): shrink the working set",
+				rt.B.Name(), rt.heapNext, limit))
+		}
 	}
 	if rt.heapNext >= codeBase {
 		panic("rt: shared heap overflows into the code region")
@@ -301,7 +348,7 @@ func (rt *Runtime) InitObject(o *Object, words []uint32) {
 	for i, w := range words {
 		rt.Sys.SDRAM.Write32(o.Addr+mem.Addr(4*i), w)
 	}
-	if d, ok := rt.B.(*dsmBackend); ok {
+	if d, ok := rt.B.(replicated); ok {
 		d.initReplicas(rt, o, words)
 	}
 	if rt.Recorder != nil {
@@ -310,12 +357,12 @@ func (rt *Runtime) InitObject(o *Object, words []uint32) {
 }
 
 // ReadObjectWord reads an object's canonical word outside simulated time
-// (for result verification after Run). For DSM the authoritative copy is
-// the replica of the tile that last held the object exclusively.
+// (for result verification after Run). For replicated backends (dsm, cdsm)
+// the authoritative copy is the replica of the tile/cluster that last held
+// the object exclusively.
 func (rt *Runtime) ReadObjectWord(o *Object, wordIdx int) uint32 {
-	if d, ok := rt.B.(*dsmBackend); ok {
-		t := d.lastWriter[o.ID] // zero value: tile 0
-		return rt.Sys.Locals[t].Read32(d.replicaAddr(t, o) + mem.Addr(4*wordIdx))
+	if d, ok := rt.B.(replicated); ok {
+		return d.readCanonical(rt, o, wordIdx)
 	}
 	return rt.Sys.SDRAM.Read32(o.Addr + mem.Addr(4*wordIdx))
 }

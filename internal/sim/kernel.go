@@ -18,7 +18,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"sort"
 )
@@ -36,6 +35,9 @@ type event struct {
 	at  Time
 	seq uint64
 	fn  func()
+	// next links events within one timing-wheel slot (unused by the
+	// heap).
+	next *event
 }
 
 type eventHeap []*event
@@ -61,9 +63,15 @@ func (h *eventHeap) Pop() any {
 // Kernel is a discrete-event simulation engine. The zero value is not
 // usable; call New.
 type Kernel struct {
-	now    Time
-	events eventHeap
-	seq    uint64
+	now Time
+	// Exactly one of wheel/heapq is non-nil (selected by NewWithQueue).
+	// The kernel branches on the concrete type instead of holding an
+	// eventQueue interface because the per-Wait queue peek is the hottest
+	// load in the simulator and must stay inlinable — dynamic dispatch
+	// there costs double-digit percent on whole-simulation time.
+	wheel *wheelQueue
+	heapq *heapQueue
+	seq   uint64
 
 	procs   []*Proc
 	live    int // processes that have not finished
@@ -82,9 +90,60 @@ type Kernel struct {
 	MaxTime Time
 }
 
-// New returns a ready-to-run kernel.
+// New returns a ready-to-run kernel with the default event queue
+// (QueueWheel).
 func New() *Kernel {
-	return &Kernel{}
+	return NewWithQueue(QueueWheel)
+}
+
+// NewWithQueue returns a kernel using the selected event-queue
+// implementation. Dispatch order — and therefore every simulation result —
+// is identical across kinds; the choice only affects host performance.
+func NewWithQueue(kind QueueKind) *Kernel {
+	k := &Kernel{}
+	if kind == QueueHeap {
+		k.heapq = &heapQueue{}
+	} else {
+		k.wheel = &wheelQueue{}
+	}
+	return k
+}
+
+func (k *Kernel) qpush(e *event) {
+	if k.wheel != nil {
+		k.wheel.push(e)
+	} else {
+		k.heapq.push(e)
+	}
+}
+
+func (k *Kernel) qpop() *event {
+	if k.wheel != nil {
+		return k.wheel.pop()
+	}
+	return k.heapq.pop()
+}
+
+func (k *Kernel) qlen() int {
+	if k.wheel != nil {
+		return k.wheel.len()
+	}
+	return k.heapq.len()
+}
+
+// eventBefore reports whether any pending event is scheduled at or before
+// t. It is the WaitUntil fast-path check and inlines fully in the common
+// cases (cached wheel minimum, or a heap peek).
+func (k *Kernel) eventBefore(t Time) bool {
+	if w := k.wheel; w != nil {
+		if w.minValid {
+			return w.minAt <= t
+		}
+		at, ok := w.nextAtSlow()
+		return ok && at <= t
+	}
+	h := k.heapq.h
+	return len(h) > 0 && h[0].at <= t
 }
 
 // Now returns the current simulated time.
@@ -110,7 +169,7 @@ func (k *Kernel) ScheduleAt(t Time, fn func()) {
 	} else {
 		e = &event{at: t, seq: k.seq, fn: fn}
 	}
-	heap.Push(&k.events, e)
+	k.qpush(e)
 }
 
 // Spawn creates a process running body in its own coroutine. The process
@@ -137,8 +196,8 @@ func (k *Kernel) Procs() []*Proc { return k.procs }
 // It returns an error on deadlock: the queue drained while unfinished
 // processes remain parked.
 func (k *Kernel) Run() error {
-	for len(k.events) > 0 && !k.stopped {
-		e := heap.Pop(&k.events).(*event)
+	for k.qlen() > 0 && !k.stopped {
+		e := k.qpop()
 		if k.MaxTime != 0 && e.at > k.MaxTime {
 			return fmt.Errorf("sim: watchdog: time %d exceeds MaxTime %d", e.at, k.MaxTime)
 		}

@@ -89,9 +89,7 @@ func (p *Proc) WaitUntil(t Time) {
 	// skip the two channel handoffs (and their goroutine switches). This
 	// is exact, not approximate: no other goroutine can observe the
 	// skipped window, because nothing is scheduled inside it.
-	if !k.stopped &&
-		(k.MaxTime == 0 || t <= k.MaxTime) &&
-		(len(k.events) == 0 || k.events[0].at > t) {
+	if !k.stopped && (k.MaxTime == 0 || t <= k.MaxTime) && !k.eventBefore(t) {
 		k.now = t
 		return
 	}

@@ -1,0 +1,245 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestQueueKindStrings pins the names ParseQueue accepts.
+func TestQueueKindStrings(t *testing.T) {
+	for _, tc := range []struct {
+		s    string
+		kind QueueKind
+	}{{"wheel", QueueWheel}, {"heap", QueueHeap}} {
+		got, err := ParseQueue(tc.s)
+		if err != nil || got != tc.kind {
+			t.Errorf("ParseQueue(%q) = %v, %v", tc.s, got, err)
+		}
+		if tc.kind.String() != tc.s {
+			t.Errorf("%v.String() = %q, want %q", tc.kind, tc.kind.String(), tc.s)
+		}
+	}
+	if _, err := ParseQueue("fifo"); err == nil {
+		t.Error("ParseQueue accepted an unknown kind")
+	}
+}
+
+// storm drives a kernel through a deterministic pseudo-random event storm —
+// nested schedules, long jumps that cross wheel-level boundaries, clustered
+// same-cycle events — and records the dispatch order as "time:id" strings.
+func storm(kind QueueKind) []string {
+	k := NewWithQueue(kind)
+	var order []string
+	rng := uint32(0x1234567)
+	next := func(n uint32) uint32 {
+		rng ^= rng << 13
+		rng ^= rng >> 17
+		rng ^= rng << 5
+		return rng % n
+	}
+	id := 0
+	var schedule func(depth int)
+	schedule = func(depth int) {
+		n := int(next(4)) + 1
+		for i := 0; i < n; i++ {
+			id++
+			myID := id
+			var delay Time
+			switch next(5) {
+			case 0:
+				delay = 0 // same cycle
+			case 1:
+				delay = Time(next(8)) // same level-0 window, mostly
+			case 2:
+				delay = Time(next(1 << 10)) // crosses level 0→1
+			case 3:
+				delay = Time(next(1 << 20)) // crosses level 1→2
+			default:
+				delay = Time(next(1 << 28)) // deep levels
+			}
+			d := depth
+			k.Schedule(delay, func() {
+				order = append(order, fmt.Sprintf("%d:%d", k.Now(), myID))
+				if id < 4000 {
+					schedule(d + 1)
+				}
+			})
+		}
+	}
+	schedule(0)
+	if err := k.Run(); err != nil {
+		panic(err)
+	}
+	return order
+}
+
+// TestWheelMatchesHeapOrder is the kernel-level differential test: the
+// timing wheel must dispatch a complex event storm in exactly the heap's
+// (time, seq) order.
+func TestWheelMatchesHeapOrder(t *testing.T) {
+	want := storm(QueueHeap)
+	got := storm(QueueWheel)
+	if len(got) != len(want) {
+		t.Fatalf("wheel dispatched %d events, heap %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("dispatch order diverges at event %d: wheel %s, heap %s", i, got[i], want[i])
+		}
+	}
+	if len(want) < 1000 {
+		t.Fatalf("storm too small to be meaningful: %d events", len(want))
+	}
+}
+
+// TestWheelSameTimestampOrder: events scheduled for one cycle must run in
+// scheduling order, including events filed into an already-cascaded slot
+// and events scheduled from within that cycle.
+func TestWheelSameTimestampOrder(t *testing.T) {
+	k := NewWithQueue(QueueWheel)
+	var order []int
+	at := Time(1000)
+	for i := 0; i < 10; i++ {
+		i := i
+		k.ScheduleAt(at, func() { order = append(order, i) })
+	}
+	// A later time first, then more events back at `at` — the wheel must
+	// keep them behind the earlier ones.
+	k.ScheduleAt(at+5000, func() { order = append(order, 100) })
+	for i := 10; i < 20; i++ {
+		i := i
+		k.ScheduleAt(at, func() {
+			order = append(order, i)
+			if i == 10 {
+				// Scheduled mid-cycle: runs after everything already
+				// filed for this cycle.
+				k.ScheduleAt(at, func() { order = append(order, 50) })
+			}
+		})
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16, 17, 18, 19, 50, 100}
+	if len(order) != len(want) {
+		t.Fatalf("got %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("position %d: got %v, want %v", i, order, want)
+		}
+	}
+}
+
+// TestWheelMaxTime: the watchdog must fire on the first event strictly past
+// MaxTime, and events exactly at MaxTime must still run — same boundary the
+// heap kernel has always had.
+func TestWheelMaxTime(t *testing.T) {
+	for _, kind := range []QueueKind{QueueWheel, QueueHeap} {
+		k := NewWithQueue(kind)
+		k.MaxTime = 100
+		ran := 0
+		k.ScheduleAt(100, func() { ran++ })
+		if err := k.Run(); err != nil {
+			t.Fatalf("%v: event at MaxTime aborted: %v", kind, err)
+		}
+		if ran != 1 {
+			t.Fatalf("%v: event at MaxTime did not run", kind)
+		}
+		k2 := NewWithQueue(kind)
+		k2.MaxTime = 100
+		k2.ScheduleAt(101, func() { t.Fatalf("%v: event past MaxTime ran", kind) })
+		if err := k2.Run(); err == nil {
+			t.Fatalf("%v: watchdog did not fire past MaxTime", kind)
+		}
+	}
+}
+
+// TestWheelMaxTimeFastPath: a process sleeping exactly to MaxTime completes;
+// one cycle further aborts. Exercises the WaitUntil fast path against the
+// wheel's nextAt.
+func TestWheelMaxTimeFastPath(t *testing.T) {
+	k := NewWithQueue(QueueWheel)
+	k.MaxTime = 500
+	k.Spawn("sleeper", func(p *Proc) { p.Wait(500) })
+	if err := k.Run(); err != nil {
+		t.Fatalf("sleep to MaxTime failed: %v", err)
+	}
+	if k.Now() != 500 {
+		t.Fatalf("now = %d, want 500", k.Now())
+	}
+	k2 := NewWithQueue(QueueWheel)
+	k2.MaxTime = 500
+	k2.Spawn("sleeper", func(p *Proc) { p.Wait(501) })
+	if err := k2.Run(); err == nil {
+		t.Fatal("sleep past MaxTime not caught")
+	}
+}
+
+// TestWheelOverflowHorizon: events beyond the wheel's 48-bit window must
+// survive in the overflow list and come back in correct order.
+func TestWheelOverflowHorizon(t *testing.T) {
+	k := NewWithQueue(QueueWheel)
+	var order []Time
+	far := Time(1) << 50
+	times := []Time{far + 3, 10, far, far + 3, 1 << 49, 2}
+	for _, at := range times {
+		at := at
+		k.ScheduleAt(at, func() { order = append(order, at) })
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []Time{2, 10, 1 << 49, far, far + 3, far + 3}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("overflow order: got %v, want %v", order, want)
+		}
+	}
+}
+
+// TestWheelPeekDoesNotLoseEvents: nextAt must not advance the wheel. A
+// process waits far ahead (peeking the queue on the way), then an event
+// scheduled back near the present must still be dispatched.
+func TestWheelPeekDoesNotLoseEvents(t *testing.T) {
+	k := NewWithQueue(QueueWheel)
+	hit := false
+	k.Spawn("waiter", func(p *Proc) {
+		p.Wait(1 << 20) // fast path peeks nextAt
+		k.Schedule(5, func() { hit = true })
+		p.Wait(100000)
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !hit {
+		t.Fatal("event scheduled after a long fast-path wait was lost")
+	}
+}
+
+func BenchmarkQueuePushPop(b *testing.B) {
+	for _, kind := range []QueueKind{QueueHeap, QueueWheel} {
+		for _, population := range []int{32, 1024} {
+			b.Run(fmt.Sprintf("%v/%d", kind, population), func(b *testing.B) {
+				k := NewWithQueue(kind)
+				nop := func() {}
+				for i := 0; i < population; i++ {
+					k.qpush(&event{at: Time(i * 7), seq: k.seq, fn: nop})
+					k.seq++
+				}
+				rng := uint32(1)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					e := k.qpop()
+					rng ^= rng << 13
+					rng ^= rng >> 17
+					rng ^= rng << 5
+					e.at += Time(rng % 1024)
+					k.seq++
+					e.seq = k.seq
+					k.qpush(e)
+				}
+			})
+		}
+	}
+}

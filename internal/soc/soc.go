@@ -22,13 +22,19 @@ import (
 	"pmc/internal/sim"
 )
 
-// Memory map constants. SDRAM occupies low addresses; tile-local memories
-// are spaced at LocalStride starting at LocalBase.
+// Memory map constants. SDRAM occupies low addresses; cluster scratch
+// memories are spaced at ClusterStride starting at ClusterBase; tile-local
+// memories are spaced at LocalStride starting at LocalBase.
 const (
-	SDRAMBase   = mem.Addr(0x0000_0000)
-	LocalBase   = mem.Addr(0x8000_0000)
-	LocalStride = mem.Addr(0x0010_0000)
+	SDRAMBase     = mem.Addr(0x0000_0000)
+	ClusterBase   = mem.Addr(0x4000_0000)
+	ClusterStride = mem.Addr(0x0010_0000)
+	LocalBase     = mem.Addr(0x8000_0000)
+	LocalStride   = mem.Addr(0x0010_0000)
 )
+
+// MaxClusters keeps the cluster scratch windows below LocalBase.
+const MaxClusters = int((LocalBase - ClusterBase) / ClusterStride)
 
 // LockKind selects the lock implementation.
 type LockKind int
@@ -62,7 +68,44 @@ type Config struct {
 	MaxCycles sim.Time
 	// CentralLockWords is the capacity of the centralized lock table.
 	CentralLockWords int
+	// Clusters groups the tiles into that many equal clusters, each with
+	// its own scratch memory. 0 or 1 means the flat single-cluster
+	// system — the exact configuration of the paper; every flat metric
+	// is reproduced bit-for-bit as the 1-cluster special case.
+	Clusters int
+	// ClusterBytes is each cluster scratch memory's size (0 = 256 KiB).
+	ClusterBytes int
+	// EventQueue selects the simulation kernel's pending-event queue;
+	// the zero value is the timing wheel, sim.QueueHeap the reference
+	// binary heap. Results are identical; see sim.QueueKind.
+	EventQueue sim.QueueKind
 }
+
+// clusters returns the normalized cluster count: an explicit Clusters
+// wins; otherwise a cluster NoC topology implies Tiles/Local clusters (so
+// sweeping a "cluster:16xmesh" topology needs no second knob); otherwise
+// the system is one flat cluster.
+func (c Config) clusters() int {
+	if c.Clusters > 1 {
+		return c.Clusters
+	}
+	if t := c.NoC.Topology; t.Kind == noc.KindCluster && t.Local > 0 && c.Tiles >= t.Local && c.Tiles%t.Local == 0 {
+		return c.Tiles / t.Local
+	}
+	return 1
+}
+
+// clusterBytes returns the normalized per-cluster scratch size.
+func (c Config) clusterBytes() int {
+	if c.ClusterBytes == 0 {
+		return 256 * 1024
+	}
+	return c.ClusterBytes
+}
+
+// ClusterMemBytes returns the effective per-cluster scratch memory size
+// (ClusterBytes with the default applied).
+func (c Config) ClusterMemBytes() int { return c.clusterBytes() }
 
 // DefaultConfig is the 32-tile system used throughout the evaluation.
 func DefaultConfig() Config {
@@ -97,7 +140,45 @@ func (c Config) Validate() error {
 	if int(LocalStride) < c.LocalBytes {
 		return fmt.Errorf("soc: local memory %d exceeds stride", c.LocalBytes)
 	}
+	if c.Clusters < 0 {
+		return fmt.Errorf("soc: %d clusters", c.Clusters)
+	}
+	// Surface NoC shape errors (mesh width, cluster divisibility) before
+	// the derived cluster checks below, so an indivisible cluster
+	// topology reports the precise NoC message.
+	nocCfg := c.NoC.WithDefaults()
+	nocCfg.Tiles = c.Tiles
+	if err := nocCfg.Validate(); err != nil {
+		return err
+	}
+	cl := c.clusters()
+	if cl > MaxClusters {
+		return fmt.Errorf("soc: %d clusters exceeds the address map's maximum %d", cl, MaxClusters)
+	}
+	if c.Tiles%cl != 0 {
+		return fmt.Errorf("soc: %d tiles do not divide evenly into %d clusters", c.Tiles, cl)
+	}
+	if int(ClusterStride) < c.clusterBytes() {
+		return fmt.Errorf("soc: cluster memory %d exceeds stride", c.clusterBytes())
+	}
+	if topo := c.NoC.Topology; topo.Kind == noc.KindCluster && topo.Local != 0 && topo.Local != c.Tiles/cl {
+		return fmt.Errorf("soc: NoC cluster topology has %d tiles per cluster, but %d tiles / %d clusters = %d",
+			topo.Local, c.Tiles, cl, c.Tiles/cl)
+	}
 	return nil
+}
+
+// Cluster is one group of tiles sharing a scratch memory: the level
+// between the SoC and the tiles. The flat system is exactly one cluster.
+type Cluster struct {
+	ID  int
+	Sys *System
+	// Scratch is the cluster-shared scratch memory (crossbar-attached,
+	// addressable at ClusterAddr(ID, off) from every member tile and
+	// over the NoC).
+	Scratch *mem.Local
+	// Tiles are the member tiles, in global tile order.
+	Tiles []*Tile
 }
 
 // System is an assembled simulated SoC.
@@ -108,6 +189,9 @@ type System struct {
 	Locals []*mem.Local
 	Net    *noc.Network
 	Tiles  []*Tile
+	// Clusters is the cluster level; flat configurations have exactly
+	// one entry holding every tile.
+	Clusters []*Cluster
 
 	Locks lock.Locker
 	// DLock is non-nil when Locks is the distributed implementation;
@@ -125,7 +209,7 @@ func New(cfg Config) (*System, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	k := sim.New()
+	k := sim.NewWithQueue(cfg.EventQueue)
 	k.MaxTime = cfg.MaxCycles
 	s := &System{K: k, Cfg: cfg}
 	s.SDRAM = mem.NewSDRAM(k, SDRAMBase, cfg.SDRAMBytes, cfg.SDRAM)
@@ -133,12 +217,36 @@ func New(cfg Config) (*System, error) {
 	for i := range s.Locals {
 		s.Locals[i] = mem.NewLocal(i, LocalAddr(i, 0), cfg.LocalBytes)
 	}
+	clusters := cfg.clusters()
+	tilesPer := cfg.Tiles / clusters
+	s.Clusters = make([]*Cluster, clusters)
+	for i := range s.Clusters {
+		s.Clusters[i] = &Cluster{
+			ID:      i,
+			Sys:     s,
+			Scratch: mem.NewLocal(i*tilesPer, ClusterAddr(i, 0), cfg.clusterBytes()),
+		}
+	}
 	nocCfg := cfg.NoC
 	nocCfg.Tiles = cfg.Tiles
+	if nocCfg.Topology.Kind == noc.KindCluster && nocCfg.Topology.Local == 0 {
+		nocCfg.Topology.Local = tilesPer
+	}
 	net, err := noc.New(k, nocCfg, s.Locals)
 	if err != nil {
 		return nil, err
 	}
+	// Remote writes into a cluster-scratch window land in the cluster
+	// memory the address names (like local addresses, the address
+	// identifies the destination RAM); everything else goes to the
+	// destination tile's local memory.
+	net.SetMemResolver(func(dst int, addr mem.Addr) *mem.Local {
+		if addr >= ClusterBase && addr < LocalBase {
+			cl, _ := ClusterOffset(addr)
+			return s.Clusters[cl].Scratch
+		}
+		return s.Locals[dst]
+	})
 	s.Net = net
 	switch cfg.Locks {
 	case LockCentralized:
@@ -153,8 +261,19 @@ func New(cfg Config) (*System, error) {
 	s.Tiles = make([]*Tile, cfg.Tiles)
 	for i := range s.Tiles {
 		s.Tiles[i] = newTile(s, i)
+		cl := s.Clusters[i/tilesPer]
+		s.Tiles[i].Cluster = cl
+		cl.Tiles = append(cl.Tiles, s.Tiles[i])
 	}
 	return s, nil
+}
+
+// TilesPerCluster returns the cluster size.
+func (s *System) TilesPerCluster() int { return s.Cfg.Tiles / len(s.Clusters) }
+
+// ClusterOf returns the cluster containing the given tile.
+func (s *System) ClusterOf(tile int) *Cluster {
+	return s.Clusters[tile/s.TilesPerCluster()]
 }
 
 // LocalAddr returns the global address of offset off inside tile t's local
@@ -171,6 +290,22 @@ func LocalOffset(a mem.Addr) (tile int, off mem.Addr) {
 	}
 	rel := a - LocalBase
 	return int(rel / LocalStride), rel % LocalStride
+}
+
+// ClusterAddr returns the global address of offset off inside cluster cl's
+// scratch memory.
+func ClusterAddr(cl int, off mem.Addr) mem.Addr {
+	return ClusterBase + mem.Addr(cl)*ClusterStride + off
+}
+
+// ClusterOffset inverts ClusterAddr, returning the owning cluster and the
+// offset.
+func ClusterOffset(a mem.Addr) (cluster int, off mem.Addr) {
+	if a < ClusterBase || a >= LocalBase {
+		panic(fmt.Sprintf("soc: %#x is not a cluster-scratch address", a))
+	}
+	rel := a - ClusterBase
+	return int(rel / ClusterStride), rel % ClusterStride
 }
 
 // Run executes the simulation to completion.

@@ -60,6 +60,9 @@ type Tile struct {
 	IC    *cache.Cache
 	DC    *cache.Cache
 	Local *mem.Local
+	// Cluster is the tile's cluster (every tile belongs to exactly one;
+	// the flat system has a single cluster holding all tiles).
+	Cluster *Cluster
 
 	Stats TileStats
 
@@ -472,6 +475,85 @@ func (t *Tile) CopyFromLocal(p *sim.Proc, src mem.Addr, dst mem.Addr, size int) 
 	t.Sys.SDRAM.AccessLines(p, dst, lines)
 	t.Sys.SDRAM.LineWBs += uint64(lines)
 	t.Sys.SDRAM.WriteBlock(dst, buf)
+	t.Stats.CopyStall += p.Now() - t0
+}
+
+// clusterMemLat is the extra crossbar traversal latency of a
+// cluster-scratch access over a tile-local one. The scratch is multi-bank
+// and the member cores reach it through the cluster crossbar, so an access
+// costs the execute cycle plus this fixed arbitration/traversal cycle;
+// bank conflicts are not modelled.
+const clusterMemLat = sim.Time(1)
+
+// ReadCluster32 loads a word from this tile's cluster scratch memory: one
+// instruction plus the crossbar traversal, charged as a shared-read stall.
+func (t *Tile) ReadCluster32(p *sim.Proc, addr mem.Addr) uint32 {
+	t.fetchAndExec(p, 1)
+	p.Wait(clusterMemLat)
+	t.Stats.SharedReadStall += clusterMemLat
+	t.Stats.SharedReads++
+	t.Cluster.Scratch.CoreReads++
+	return t.Cluster.Scratch.Read32(addr)
+}
+
+// WriteCluster32 stores a word into this tile's cluster scratch memory.
+func (t *Tile) WriteCluster32(p *sim.Proc, addr mem.Addr, v uint32) {
+	t.fetchAndExec(p, 1)
+	p.Wait(clusterMemLat)
+	t.Stats.WriteStall += clusterMemLat
+	t.Stats.SharedWrites++
+	t.Cluster.Scratch.CoreWrites++
+	t.Cluster.Scratch.Write32(addr, v)
+}
+
+// CopyToCluster copies size bytes from SDRAM into this tile's cluster
+// scratch as one DMA-style burst (the cluster-level analogue of
+// CopyToLocal).
+func (t *Tile) CopyToCluster(p *sim.Proc, src mem.Addr, dst mem.Addr, size int) {
+	if size <= 0 {
+		return
+	}
+	t0 := p.Now()
+	ls := t.Sys.Cfg.SDRAM.LineSize
+	lines := (size + ls - 1) / ls
+	t.Sys.SDRAM.AccessLines(p, src, lines)
+	t.Sys.SDRAM.LineFills += uint64(lines)
+	buf := make([]byte, size)
+	t.Sys.SDRAM.ReadBlock(src, buf)
+	t.Cluster.Scratch.WriteBlock(dst, buf)
+	t.Stats.CopyStall += p.Now() - t0
+}
+
+// CopyFromCluster copies size bytes from this tile's cluster scratch back
+// to SDRAM in one DMA-style burst.
+func (t *Tile) CopyFromCluster(p *sim.Proc, src mem.Addr, dst mem.Addr, size int) {
+	if size <= 0 {
+		return
+	}
+	t0 := p.Now()
+	ls := t.Sys.Cfg.SDRAM.LineSize
+	lines := (size + ls - 1) / ls
+	buf := make([]byte, size)
+	t.Cluster.Scratch.ReadBlock(src, buf)
+	t.Sys.SDRAM.AccessLines(p, dst, lines)
+	t.Sys.SDRAM.LineWBs += uint64(lines)
+	t.Sys.SDRAM.WriteBlock(dst, buf)
+	t.Stats.CopyStall += p.Now() - t0
+}
+
+// CopyCluster is a DMA-style block move inside this tile's cluster scratch
+// memory: like CopyLocal, one word per cycle with read and write
+// overlapped, plus the crossbar traversal once.
+func (t *Tile) CopyCluster(p *sim.Proc, src, dst mem.Addr, size int) {
+	t.fetchAndExec(p, dmaSetupInstrs)
+	t0 := p.Now()
+	words := (size + 3) / 4
+	buf := make([]byte, size)
+	t.Cluster.Scratch.ReadBlock(src, buf)
+	t.Cluster.Scratch.WriteBlock(dst, buf)
+	t.Cluster.Scratch.CoreReads += uint64(words)
+	t.Cluster.Scratch.CoreWrites += uint64(words)
+	p.Wait(sim.Time(words) + clusterMemLat)
 	t.Stats.CopyStall += p.Now() - t0
 }
 

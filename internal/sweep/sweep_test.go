@@ -8,6 +8,8 @@ import (
 	"sync/atomic"
 	"testing"
 
+	"pmc/internal/rt"
+
 	"pmc/internal/noc"
 	"pmc/internal/soc"
 	"pmc/internal/workloads"
@@ -135,8 +137,8 @@ func TestSweepDefaults(t *testing.T) {
 	}
 	// Empty Backends axis expands to every backend.
 	all := Spec{Apps: []string{"msgpass"}, Tiles: []int{4}}
-	if n := len(all.Cells()); n != 5 {
-		t.Fatalf("default backend axis has %d cells, want 5", n)
+	if n := len(all.Cells()); n != len(rt.Backends) {
+		t.Fatalf("default backend axis has %d cells, want %d", n, len(rt.Backends))
 	}
 }
 

@@ -48,6 +48,11 @@ type Result struct {
 	NoCMessages uint64
 	NoCBytes    uint64
 	FlitHops    uint64
+	// The hierarchical split of FlitHops on cluster topologies:
+	// intra-cluster crossbar hops vs backbone hops. On flat topologies
+	// every hop counts as local and GlobalFlitHops stays zero.
+	LocalFlitHops  uint64
+	GlobalFlitHops uint64
 }
 
 // FlushOverheadPct returns the percentage of accounted cycles spent
@@ -199,6 +204,9 @@ func run(app App, cfg soc.Config, backendName string, pre func(*rt.Runtime)) (*R
 		NoCMessages: sys.Net.Stats().Messages,
 		NoCBytes:    sys.Net.Stats().Bytes,
 		FlitHops:    sys.Net.Stats().FlitHops,
+
+		LocalFlitHops:  sys.Net.Stats().LocalFlitHops,
+		GlobalFlitHops: sys.Net.Stats().GlobalFlitHops,
 	}
 	for _, t := range sys.Tiles {
 		res.PerTile = append(res.PerTile, t.Stats)

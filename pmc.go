@@ -40,6 +40,7 @@
 package pmc
 
 import (
+	"fmt"
 	"io"
 
 	"pmc/internal/conform"
@@ -219,10 +220,32 @@ type (
 	TileStats = soc.TileStats
 	// Time is simulated cycles.
 	Time = sim.Time
+	// EventQueueKind selects the simulation kernel's pending-event
+	// queue (Config.EventQueue): the hierarchical timing wheel or the
+	// reference binary heap. Results are identical either way.
+	EventQueueKind = sim.QueueKind
 )
+
+// Event-queue implementations for Config.EventQueue.
+const (
+	QueueWheel = sim.QueueWheel
+	QueueHeap  = sim.QueueHeap
+)
+
+// MaxClusters is the largest cluster count the address map supports.
+const MaxClusters = soc.MaxClusters
 
 // DefaultConfig is the paper's 32-tile system.
 func DefaultConfig() Config { return soc.DefaultConfig() }
+
+// ParseEventQueue converts an event-queue name ("wheel" or "heap") to an
+// EventQueueKind.
+func ParseEventQueue(s string) (EventQueueKind, error) { return sim.ParseQueue(s) }
+
+// MinSDRAMBytes returns the smallest Config.SDRAMBytes whose memory map
+// holds the per-tile private heaps of a system with the given tile count;
+// the 32 MiB default covers the paper's 32 tiles but stops at 48.
+func MinSDRAMBytes(tiles int) int { return rt.MinSDRAMBytes(tiles) }
 
 // NewSystem builds a simulated SoC.
 func NewSystem(cfg Config) (*System, error) { return soc.New(cfg) }
@@ -356,11 +379,19 @@ type (
 	NoCTopology = noc.Topology
 )
 
-// NoC topologies for SweepSpec.Topos.
-const (
+// NoC topologies for SweepSpec.Topos. Cluster topologies are built with
+// ClusterTopo or parsed from "cluster:<local>x<global>" specs.
+var (
 	TopoRing = noc.TopoRing
 	TopoMesh = noc.TopoMesh
 )
+
+// ClusterTopo returns the hierarchical NoC topology: crossbar clusters of
+// local tiles each, joined by a global ring ("ring") or mesh ("mesh")
+// backbone.
+func ClusterTopo(local int, global string) (NoCTopology, error) {
+	return noc.ParseTopology(fmt.Sprintf("cluster:%dx%s", local, global))
+}
 
 // Sweep runs every cell of the grid on a worker pool (Workers=0 means
 // GOMAXPROCS) and returns the merged table. The emitted bytes are
@@ -368,7 +399,8 @@ const (
 // and rows are merged by grid index.
 func Sweep(spec SweepSpec) (*SweepTable, error) { return sweep.Run(spec) }
 
-// ParseTopology converts "ring" or "mesh" to a NoCTopology.
+// ParseTopology converts "ring", "mesh" or "cluster:<local>x<global>" to a
+// NoCTopology.
 func ParseTopology(s string) (NoCTopology, error) { return noc.ParseTopology(s) }
 
 // ScaledApp is AppByName with an optional CI-sized configuration (the
