@@ -86,8 +86,14 @@ func runFuzz(seed int64, n int, mode, backends, fault string, shrink bool, runs,
 	if backends != "" {
 		cfg.Backends = strings.Split(backends, ",")
 		for _, b := range cfg.Backends {
+			if b == pmc.MixedBackend {
+				// Pseudo-backend: each generated program carries a
+				// per-object placement and every object runs on its
+				// placed backend.
+				continue
+			}
 			if _, err := pmc.BackendByName(b); err != nil {
-				return usagef("bad -fuzzbackends entry: %v", err)
+				return usagef(`bad -fuzzbackends entry: %v (or "mixed" for per-object placement)`, err)
 			}
 		}
 	}

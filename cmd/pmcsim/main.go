@@ -39,6 +39,7 @@ func main() {
 		scale    = flag.String("scale", "full", `scale: "full" (paper) or "small" (quick)`)
 		runApp   = flag.String("run", "", "run one workload (see -list) instead of an experiment")
 		backend  = flag.String("backend", "swcc", "backend for -run: "+strings.Join(pmc.BackendNames(), ", "))
+		place    = flag.String("place", "", `with -run: per-object placement "obj=backend,..." (trailing-* globs match name prefixes; unmatched objects use -backend)`)
 		traceOut = flag.String("trace", "", "with -run: write a Chrome-trace JSON of the run to this file")
 		clusters = flag.Int("clusters", 0, "with -run or -sweep: cluster count (0 = derived from the topology, 1 = flat)")
 		queue    = flag.String("queue", "wheel", `with -run or -sweep: event-queue implementation, "wheel" or "heap" (results identical)`)
@@ -62,6 +63,10 @@ func main() {
 	if err != nil {
 		fail(usagef(`bad -queue %q (valid: wheel, heap)`, *queue))
 	}
+	placement, err := parsePlacement(*place)
+	if err != nil {
+		fail(err)
+	}
 
 	switch {
 	case *list:
@@ -80,7 +85,7 @@ func main() {
 		}
 		return
 	case *runApp != "":
-		if err := runWorkload(*runApp, *backend, *tiles, *topo, *clusters, qkind, *traceOut); err != nil {
+		if err := runWorkload(*runApp, *backend, *tiles, *topo, *clusters, qkind, *traceOut, placement); err != nil {
 			fail(err)
 		}
 		return
@@ -274,13 +279,40 @@ func emit(path string, write func(w io.Writer) error) error {
 }
 
 // runWorkload executes one workload, optionally exporting a Chrome trace.
-func runWorkload(name, backend string, tiles int, topo string, clusters int, qkind pmc.EventQueueKind, traceOut string) error {
+// parsePlacement parses the -place flag ("obj=backend,obj2=backend2") and
+// validates every backend name at flag-parse time: a typo is a usage error
+// (exit 2) before any simulation spins up.
+func parsePlacement(s string) (map[string]string, error) {
+	if s == "" {
+		return nil, nil
+	}
+	place := make(map[string]string)
+	for _, ent := range strings.Split(s, ",") {
+		obj, backend, ok := strings.Cut(ent, "=")
+		if !ok || obj == "" || backend == "" {
+			return nil, usagef(`bad -place entry %q (want "object=backend")`, ent)
+		}
+		if _, err := pmc.BackendByName(backend); err != nil {
+			return nil, usagef("bad -place entry %q: %v", ent, err)
+		}
+		if prev, dup := place[obj]; dup {
+			return nil, usagef("duplicate -place entry for %q (%s and %s)", obj, prev, backend)
+		}
+		place[obj] = backend
+	}
+	return place, nil
+}
+
+func runWorkload(name, backend string, tiles int, topo string, clusters int, qkind pmc.EventQueueKind, traceOut string, place map[string]string) error {
 	app, ok := pmc.AppByName(name)
 	if !ok {
 		return usagef("unknown workload %q (have %s)", name, strings.Join(pmc.AppNames(), ", "))
 	}
 	if _, err := pmc.BackendByName(backend); err != nil {
 		return usagef("bad -backend: %v", err)
+	}
+	if place != nil && traceOut != "" {
+		return usagef("-place and -trace cannot be combined")
 	}
 	cfg := pmc.DefaultConfig()
 	if tiles > 0 {
@@ -312,6 +344,11 @@ func runWorkload(name, backend string, tiles int, topo string, clusters int, qki
 			return werr
 		}
 		fmt.Printf("trace: %d events -> %s (open in ui.perfetto.dev)\n", tr.Len(), traceOut)
+	} else if place != nil {
+		res, err = pmc.RunAppPlaced(app, cfg, backend, place)
+		if err != nil {
+			return err
+		}
 	} else {
 		res, err = pmc.RunApp(app, cfg, backend)
 		if err != nil {

@@ -96,6 +96,14 @@ type Options struct {
 	Model *litmus.Result
 }
 
+// MixedBackend is the pseudo-backend name selecting per-location routing:
+// each location with a Placement entry is allocated on its placed backend
+// (via rt.AllocOn) and the rest stay on the default nocc route, so one
+// program exercises several protocols against the one model. Pure backend
+// runs ignore Placement entirely — the same program doubles as its own
+// single-backend control.
+const MixedBackend = "mixed"
+
 // Check explores prog under the model, then executes it on the simulator
 // with the given backend under `runs` timing perturbations, and compares
 // outcome sets. Perturbations use the historical base seed 0.
@@ -110,6 +118,15 @@ func CheckOpts(prog litmus.Program, backend string, opt Options) (*Report, error
 	}
 	if opt.Tiles < len(prog.Threads) {
 		return nil, fmt.Errorf("conform: %d tiles for %d threads", opt.Tiles, len(prog.Threads))
+	}
+	if backend == MixedBackend {
+		// Surface bad placement names as an error here rather than an
+		// AllocOn panic inside every perturbed run.
+		for loc, pb := range prog.Placement {
+			if _, err := rt.ByName(pb); err != nil {
+				return nil, fmt.Errorf("conform %s: placement %s=%s: %w", prog.Name, loc, pb, err)
+			}
+		}
 	}
 	// One rewrite defines the program under test for BOTH sides: the
 	// model explores it and the simulator executes it.
@@ -229,10 +246,16 @@ func execute(prog litmus.Program, backend string, opt Options, seed uint32) (str
 	if err != nil {
 		return "", err
 	}
+	mixed := backend == MixedBackend
 	var b rt.Backend
-	if opt.Backend != nil {
+	switch {
+	case opt.Backend != nil:
 		b, err = opt.Backend()
-	} else {
+	case mixed:
+		// Mixed runs default unplaced locations to the uncached
+		// sequentially-consistent reference route.
+		b, err = rt.ByName("nocc")
+	default:
 		b, err = rt.ByName(backend)
 	}
 	if err != nil {
@@ -241,7 +264,11 @@ func execute(prog litmus.Program, backend string, opt Options, seed uint32) (str
 	r := rt.New(sys, b)
 	objs := make(map[string]*rt.Object, len(prog.Locs))
 	for _, name := range prog.Locs {
-		objs[name] = r.Alloc(name, 4*prog.WidthOf(name))
+		if pb := prog.Placement[name]; mixed && pb != "" {
+			objs[name] = r.AllocOn(name, 4*prog.WidthOf(name), pb)
+		} else {
+			objs[name] = r.Alloc(name, 4*prog.WidthOf(name))
+		}
 	}
 	type reg struct {
 		name string

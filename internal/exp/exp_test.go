@@ -21,7 +21,7 @@ func TestRegistryComplete(t *testing.T) {
 		"table1", "table2",
 		"fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
 		"ablation-locks", "ablation-release", "ablation-scaling", "ablation-dcache", "ablation-granularity",
-		"ablation-explorer", "bulk-ablation",
+		"ablation-explorer", "bulk-ablation", "mixed-ablation",
 		"ext-stencil", "ext-pc", "ext-scoped-fence", "ext-mesh", "ext-conformance",
 		"sweep-scaling", "sweep-clusters", "fuzz",
 	}

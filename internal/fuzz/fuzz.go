@@ -65,6 +65,17 @@ func (c Config) withDefaults() Config {
 	if len(c.Backends) == 0 {
 		c.Backends = DefaultBackends
 	}
+	// A "mixed" backend entry checks per-location routing: it needs
+	// programs that actually carry placements, so it implies a generator
+	// backend pool (the paper's four protocols unless the caller set one).
+	if len(c.Gen.BackendPool) == 0 {
+		for _, b := range c.Backends {
+			if b == conform.MixedBackend {
+				c.Gen.BackendPool = DefaultBackends
+				break
+			}
+		}
+	}
 	if c.Tiles == 0 {
 		c.Tiles = c.Gen.MaxThreads
 	}
@@ -180,6 +191,17 @@ func Render(p litmus.Program) string {
 		}
 		if len(wide) > 0 {
 			fmt.Fprintf(&b, "wide: %s\n", strings.Join(wide, " "))
+		}
+	}
+	if len(p.Placement) > 0 {
+		var placed []string
+		for _, loc := range p.Locs {
+			if pb := p.Placement[loc]; pb != "" {
+				placed = append(placed, fmt.Sprintf("%s=%s", loc, pb))
+			}
+		}
+		if len(placed) > 0 {
+			fmt.Fprintf(&b, "place: %s\n", strings.Join(placed, " "))
 		}
 	}
 	for ti, th := range p.Threads {

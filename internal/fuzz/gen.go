@@ -83,6 +83,12 @@ type GenConfig struct {
 	// (annotation API v2) alongside word accesses. 0 selects the
 	// default of 4; 1 generates word-only programs.
 	MaxBlockWords int
+	// BackendPool, when non-empty, makes generated programs mixed: every
+	// location independently draws a backend placement from the pool or
+	// stays unplaced (the run's default backend). Placement is part of
+	// the canonical fingerprint, so the same instruction stream over
+	// different placements counts as distinct programs.
+	BackendPool []string
 }
 
 func (g GenConfig) withDefaults() GenConfig {
@@ -199,6 +205,20 @@ func Generate(seed int64, cfg GenConfig) litmus.Program {
 				p.Widths = make(map[string]int)
 			}
 			p.Widths[loc] = w
+		}
+	}
+	// Per-location backend placement, drawn after the instruction stream
+	// so placement never perturbs it: the same seed with and without a
+	// pool generates the same threads. Index len(pool) means unplaced
+	// (the run's default backend).
+	if pool := cfg.BackendPool; len(pool) > 0 {
+		for _, loc := range p.Locs {
+			if i := g.rng.Intn(len(pool) + 1); i < len(pool) {
+				if p.Placement == nil {
+					p.Placement = make(map[string]string)
+				}
+				p.Placement[loc] = pool[i]
+			}
 		}
 	}
 	return p

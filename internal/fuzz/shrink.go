@@ -9,7 +9,8 @@ import (
 // by an arbitrary repro predicate) it greedily minimizes the program while
 // the failure persists — whole threads first, then instructions (keeping
 // entry/exit pairs matched so candidates stay well-formed), then location
-// widths, then write values — iterating to a fixpoint. Candidates that no longer fail, fail
+// widths, then backend placements (toward a single default backend), then
+// write values — iterating to a fixpoint. Candidates that no longer fail, fail
 // to explore, or deadlock/livelock on the simulator simply do not
 // reproduce and are rejected by the predicate, so the shrinker needs no
 // structural knowledge beyond pair matching.
@@ -50,6 +51,22 @@ func Shrink(p litmus.Program, repro Repro) (litmus.Program, int) {
 		}
 		if len(cur.Widths) == 0 {
 			cur.Widths = nil
+		}
+	}
+	if cur.Placement != nil {
+		for loc := range cur.Placement {
+			used := false
+			for _, l := range cur.Locs {
+				if l == loc {
+					used = true
+				}
+			}
+			if !used {
+				delete(cur.Placement, loc)
+			}
+		}
+		if len(cur.Placement) == 0 {
+			cur.Placement = nil
 		}
 	}
 	return cur, steps
@@ -102,7 +119,19 @@ func shrinkPass(cur litmus.Program, repro Repro) (litmus.Program, bool) {
 			}
 		}
 	}
-	// 4. Shrink write values to 1 (rewriting awaits of the same
+	// 4. Drop placement entries one at a time: the minimal counterexample
+	// shrinks toward every location on the run's single default backend.
+	for _, loc := range usedLocs(cur) {
+		if cur.Placement[loc] == "" {
+			continue
+		}
+		cand := cloneProgram(cur)
+		delete(cand.Placement, loc)
+		if repro(cand) {
+			return cand, true
+		}
+	}
+	// 5. Shrink write values to 1 (rewriting awaits of the same
 	// location/value pair so they stay satisfiable).
 	for _, loc := range usedLocs(cur) {
 		for _, v := range writeValues(cur, loc) {
@@ -131,6 +160,12 @@ func cloneProgram(p litmus.Program) litmus.Program {
 		c.Widths = make(map[string]int, len(p.Widths))
 		for k, v := range p.Widths {
 			c.Widths[k] = v
+		}
+	}
+	if p.Placement != nil {
+		c.Placement = make(map[string]string, len(p.Placement))
+		for k, v := range p.Placement {
+			c.Placement[k] = v
 		}
 	}
 	return c

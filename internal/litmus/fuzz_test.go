@@ -33,6 +33,11 @@ func fuzzProgram(data []byte) Program {
 		if w := int(data[0]/3) % 4; w > 1 {
 			p.Widths = map[string]int{"L1": w}
 		}
+		// Optionally place L0 on a backend (placement is part of the
+		// fingerprint; the keys must survive relabeling).
+		if b := int(data[0]/48) % 3; b > 0 {
+			p.Placement = map[string]string{"L0": []string{"dsm", "spm"}[b-1]}
+		}
 		data = data[1:]
 	}
 	p.Threads = make([]Thread, nThreads)
@@ -82,6 +87,12 @@ func relabel(p Program, locMap, regMap map[string]string) Program {
 		out.Widths = make(map[string]int, len(p.Widths))
 		for l, w := range p.Widths {
 			out.Widths[locMap[l]] = w
+		}
+	}
+	if p.Placement != nil {
+		out.Placement = make(map[string]string, len(p.Placement))
+		for l, b := range p.Placement {
+			out.Placement[locMap[l]] = b
 		}
 	}
 	out.Threads = make([]Thread, len(p.Threads))

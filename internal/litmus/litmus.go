@@ -132,7 +132,16 @@ type Program struct {
 	// annotations protect every word, and the explorer lowers both to
 	// per-word model operations (LowerWide).
 	Widths map[string]int
+	// Placement routes locations to named runtime backends when the
+	// program executes under conform's mixed mode (absent = the run's
+	// default backend). The model is placement-blind — every conforming
+	// backend implements the same memory model — so exploration ignores
+	// it; only execution and the canonical fingerprint consume it.
+	Placement map[string]string
 }
+
+// PlacedOn returns the backend name loc is placed on ("" = default).
+func (p Program) PlacedOn(loc string) string { return p.Placement[loc] }
 
 // WidthOf returns loc's width in words (at least 1).
 func (p Program) WidthOf(loc string) int {
@@ -203,7 +212,7 @@ func LowerWide(p Program) Program {
 	if !p.HasWide() {
 		return p
 	}
-	out := Program{Name: p.Name, Threads: make([]Thread, len(p.Threads))}
+	out := Program{Name: p.Name, Threads: make([]Thread, len(p.Threads)), Placement: p.Placement}
 	for _, loc := range p.Locs {
 		for k := 0; k < p.WidthOf(loc); k++ {
 			out.Locs = append(out.Locs, WordLoc(loc, k))

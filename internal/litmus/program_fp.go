@@ -60,6 +60,11 @@ func Fingerprint(p Program) string {
 			// location through any renaming, keeping the fingerprint
 			// naming-invariant.
 			h.mixInt(p.WidthOf(in.Loc))
+			// A location's backend placement is part of program behavior
+			// under mixed-mode execution. Backend names are a fixed
+			// vocabulary — not display names — so they mix as literal
+			// bytes; placements follow the location through renaming.
+			h.mixString(p.Placement[in.Loc])
 			h.mix(uint64(in.Val))
 			h.mixInt(canonReg(in.Reg))
 		}

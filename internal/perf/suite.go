@@ -62,8 +62,17 @@ func ciSuite() []Entry {
 		lit("litmus/fig5-annotated/memo", "fig5-annotated", 1, true),
 		lit("litmus/stress-independent/par", "stress-independent", 0, true),
 	)
-	// Fuzz: a short seeded differential campaign over all four backends.
+	// Adaptive routing: the migrating backend on a migratory app and a
+	// streaming app — the sim-cycles pin both the policy's decisions and
+	// the migration mechanics.
+	es = append(es,
+		simE("sim/raytrace/adaptive/8t", "raytrace", "adaptive", 8, "", true),
+		simE("sim/bulkcopy/adaptive/8t", "bulkcopy", "adaptive", 8, "", true),
+	)
+	// Fuzz: a short seeded differential campaign over all four backends,
+	// and one with per-object placement (the "mixed" pseudo-backend).
 	es = append(es, Entry{Name: "fuzz/mixed/seed1/n50", Fuzz: &FuzzBench{Seed: 1, N: 50, Mode: "mixed", Runs: 2}})
+	es = append(es, Entry{Name: "fuzz/placed/seed2/n50", Fuzz: &FuzzBench{Seed: 2, N: 50, Mode: "drf", Backends: []string{"nocc", "mixed"}, Runs: 2}})
 	return es
 }
 
@@ -99,7 +108,12 @@ func fullSuite() []Entry {
 		lit("litmus/iriw-3t/memo", "iriw-3t", 1, true),
 		lit("litmus/stress-independent/par", "stress-independent", 0, true),
 	)
+	es = append(es,
+		simE("sim/raytrace/adaptive/32t", "raytrace", "adaptive", 32, "", false),
+		simE("sim/motionest/adaptive/32t", "motionest", "adaptive", 32, "", false),
+	)
 	es = append(es, Entry{Name: "fuzz/mixed/seed1/n300", Fuzz: &FuzzBench{Seed: 1, N: 300, Mode: "mixed", Runs: 3}})
+	es = append(es, Entry{Name: "fuzz/placed/seed2/n300", Fuzz: &FuzzBench{Seed: 2, N: 300, Mode: "drf", Backends: []string{"nocc", "mixed"}, Runs: 3}})
 	return es
 }
 

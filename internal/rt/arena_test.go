@@ -12,7 +12,7 @@ import (
 
 func TestArenaAllocRelease(t *testing.T) {
 	var a spmArena
-	a.init(1024)
+	a.init(0, 1024)
 	x, ok := a.alloc(100)
 	if !ok || x != 0 {
 		t.Fatalf("first alloc = (%d,%v)", x, ok)
@@ -31,7 +31,7 @@ func TestArenaAllocRelease(t *testing.T) {
 
 func TestArenaExhaustion(t *testing.T) {
 	var a spmArena
-	a.init(256)
+	a.init(0, 256)
 	if _, ok := a.alloc(300); ok {
 		t.Fatal("oversized allocation succeeded")
 	}
@@ -47,7 +47,7 @@ func TestArenaExhaustion(t *testing.T) {
 
 func TestArenaCoalescing(t *testing.T) {
 	var a spmArena
-	a.init(512)
+	a.init(0, 512)
 	p1, _ := a.alloc(128)
 	p2, _ := a.alloc(128)
 	p3, _ := a.alloc(128)
@@ -70,7 +70,7 @@ func TestArenaNoOverlapProperty(t *testing.T) {
 	}
 	prop := func(ops []uint8) bool {
 		var a spmArena
-		a.init(2048)
+		a.init(0, 2048)
 		var spans []live
 		for _, op := range ops {
 			if op%3 != 0 && len(spans) > 0 { // release one

@@ -1,7 +1,6 @@
 package rt
 
 import (
-	"pmc/internal/lock"
 	"pmc/internal/mem"
 	"pmc/internal/sim"
 	"pmc/internal/soc"
@@ -44,26 +43,24 @@ func (b *cdsmBackend) Init(rt *Runtime) {
 	if rt.Sys.DLock == nil {
 		panic("rt: the cdsm backend needs the distributed lock")
 	}
+}
+
+// lockTransfer carries the object data only when the lock actually changes
+// clusters; intra-cluster transfers find the data already in the shared
+// replica. The runtime's transfer mux dispatches here for cdsm-routed
+// objects.
+func (b *cdsmBackend) lockTransfer(rt *Runtime, o *Object, from, to int, t sim.Time) sim.Time {
 	net := rt.Sys.Net
-	// Lock transfer carries the object data only when the lock actually
-	// changes clusters; intra-cluster transfers find the data already in
-	// the shared replica.
-	rt.Sys.DLock.OnTransfer = func(lockID, from, to int, t sim.Time) sim.Time {
-		o := rt.ObjectByLock(lockID)
-		if o == nil || from == lock.NoHolder || from == to {
-			return t
-		}
-		fromCl := rt.Sys.ClusterOf(from)
-		toCl := rt.Sys.ClusterOf(to)
-		if fromCl == toCl {
-			return t
-		}
-		home := rt.Sys.DLock.Home(lockID)
-		notifyAt := t + net.ControlLatency(home, from, 8)
-		buf := make([]byte, o.WordCount()*4)
-		fromCl.Scratch.ReadBlock(b.replicaAddr(fromCl.ID, o), buf)
-		return net.PostWriteDelayed(from, to, b.replicaAddr(toCl.ID, o), buf, notifyAt)
+	fromCl := rt.Sys.ClusterOf(from)
+	toCl := rt.Sys.ClusterOf(to)
+	if fromCl == toCl {
+		return t
 	}
+	home := rt.Sys.DLock.Home(o.LockID)
+	notifyAt := t + net.ControlLatency(home, from, 8)
+	buf := make([]byte, o.WordCount()*4)
+	fromCl.Scratch.ReadBlock(b.replicaAddr(fromCl.ID, o), buf)
+	return net.PostWriteDelayed(from, to, b.replicaAddr(toCl.ID, o), buf, notifyAt)
 }
 
 // initReplicas pre-loads every cluster's replica (setup, outside simulated

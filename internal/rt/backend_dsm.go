@@ -1,7 +1,6 @@
 package rt
 
 import (
-	"pmc/internal/lock"
 	"pmc/internal/mem"
 	"pmc/internal/sim"
 	"pmc/internal/soc"
@@ -46,22 +45,20 @@ func (b *dsmBackend) Init(rt *Runtime) {
 	if rt.Sys.DLock == nil {
 		panic("rt: the dsm backend needs the distributed lock")
 	}
+}
+
+// lockTransfer carries the object data with the lock handoff: home
+// notifies the previous owner, the previous owner pushes its version into
+// the acquirer's replica, and the grant follows once the data has landed.
+// The runtime's transfer mux dispatches here for dsm-routed objects.
+func (b *dsmBackend) lockTransfer(rt *Runtime, o *Object, from, to int, t sim.Time) sim.Time {
 	net := rt.Sys.Net
-	// Lock transfer carries the object data: home notifies the previous
-	// owner, the previous owner pushes its version into the acquirer's
-	// replica, and the grant follows once the data has landed.
-	rt.Sys.DLock.OnTransfer = func(lockID, from, to int, t sim.Time) sim.Time {
-		o := rt.ObjectByLock(lockID)
-		if o == nil || from == lock.NoHolder || from == to {
-			return t
-		}
-		home := rt.Sys.DLock.Home(lockID)
-		notifyAt := t + net.ControlLatency(home, from, 8)
-		buf := make([]byte, o.WordCount()*4)
-		rt.Sys.Locals[from].ReadBlock(b.replicaAddr(from, o), buf)
-		deliveredAt := net.PostWriteDelayed(from, to, b.replicaAddr(to, o), buf, notifyAt)
-		return deliveredAt
-	}
+	home := rt.Sys.DLock.Home(o.LockID)
+	notifyAt := t + net.ControlLatency(home, from, 8)
+	buf := make([]byte, o.WordCount()*4)
+	rt.Sys.Locals[from].ReadBlock(b.replicaAddr(from, o), buf)
+	deliveredAt := net.PostWriteDelayed(from, to, b.replicaAddr(to, o), buf, notifyAt)
+	return deliveredAt
 }
 
 // initReplicas pre-loads every tile's replica (setup, outside simulated

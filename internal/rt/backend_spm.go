@@ -33,7 +33,7 @@ func (spmBackend) Init(rt *Runtime) {}
 
 func (b spmBackend) stage(c *Ctx, o *Object) mem.Addr {
 	if !c.spm.inited {
-		c.spm.init(c.rt.Sys.Cfg.LocalBytes)
+		c.spm.init(c.rt.stagingBase(), c.rt.Sys.Cfg.LocalBytes)
 	}
 	off, ok := c.spm.alloc(o.WordCount() * 4)
 	if !ok {

@@ -1,7 +1,6 @@
 package rt
 
 import (
-	"pmc/internal/lock"
 	"pmc/internal/mem"
 	"pmc/internal/sim"
 )
@@ -42,30 +41,27 @@ func (b *swccBackend) Name() string {
 	return "swcc"
 }
 
-func (b *swccBackend) Init(rt *Runtime) {
-	if !b.Lazy || rt.Sys.DLock == nil {
-		return
+func (b *swccBackend) Init(rt *Runtime) {}
+
+// lockTransfer implements the lazy-release variant: when a lock moves
+// between tiles, the previous owner's cache flushes the object's lines
+// before the grant is sent. The flush is performed by the lock unit's
+// transfer logic, so its bus time delays the new owner's grant rather than
+// stalling the previous owner. The eager variant publishes at exit_x and
+// has nothing to do at transfer time.
+func (b *swccBackend) lockTransfer(rt *Runtime, o *Object, from, to int, t sim.Time) sim.Time {
+	if !b.Lazy {
+		return t
 	}
-	// Lazy release: when a lock moves between tiles, the previous
-	// owner's cache flushes the object's lines before the grant is sent.
-	// The flush is performed by the lock unit's transfer logic, so its
-	// bus time delays the new owner's grant rather than stalling the
-	// previous owner.
-	rt.Sys.DLock.OnTransfer = func(lockID, from, to int, t sim.Time) sim.Time {
-		o := rt.ObjectByLock(lockID)
-		if o == nil || from == lock.NoHolder || from == to {
-			return t
+	dc := rt.Sys.Tiles[from].DC
+	end := t
+	ls := rt.Sys.Cfg.DCache.LineSize
+	for a := dc.LineBase(o.Addr); a < o.Addr+mem.Addr(o.Size); a += mem.Addr(ls) {
+		if tr := dc.FlushLine(a); tr.Writeback {
+			end = rt.Sys.SDRAM.ReserveLineWB(end, a)
 		}
-		dc := rt.Sys.Tiles[from].DC
-		end := t
-		ls := rt.Sys.Cfg.DCache.LineSize
-		for a := dc.LineBase(o.Addr); a < o.Addr+mem.Addr(o.Size); a += mem.Addr(ls) {
-			if tr := dc.FlushLine(a); tr.Writeback {
-				end = rt.Sys.SDRAM.ReserveLineWB(end, a)
-			}
-		}
-		return end
 	}
+	return end
 }
 
 func (b *swccBackend) EntryX(c *Ctx, o *Object) {

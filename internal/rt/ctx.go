@@ -70,7 +70,7 @@ func (c *Ctx) EntryX(o *Object) {
 	}
 	c.scopes[o] = &scope{mode: scopeX, locked: true}
 	c.T.Exec(c.P, annotationOverhead)
-	c.rt.B.EntryX(c, o)
+	o.route.EntryX(c, o)
 	c.emit(trace.Begin, "x:"+o.Name, 0)
 	if c.rt.Recorder != nil {
 		c.rt.Recorder.acquire(c, o)
@@ -88,7 +88,7 @@ func (c *Ctx) ExitX(o *Object) {
 		c.rt.Recorder.release(c, o)
 	}
 	c.T.Exec(c.P, annotationOverhead)
-	c.rt.B.ExitX(c, o)
+	o.route.ExitX(c, o)
 	c.emit(trace.End, "x:"+o.Name, 0)
 	delete(c.scopes, o)
 }
@@ -101,7 +101,7 @@ func (c *Ctx) EntryRO(o *Object) {
 	}
 	c.scopes[o] = &scope{mode: scopeRO}
 	c.T.Exec(c.P, annotationOverhead)
-	c.rt.B.EntryRO(c, o)
+	o.route.EntryRO(c, o)
 	c.emit(trace.Begin, "ro:"+o.Name, 0)
 	if c.rt.Recorder != nil {
 		c.rt.Recorder.enterRO(c, o)
@@ -119,7 +119,7 @@ func (c *Ctx) ExitRO(o *Object) {
 		c.rt.Recorder.exitRO(c, o)
 	}
 	c.T.Exec(c.P, annotationOverhead)
-	c.rt.B.ExitRO(c, o)
+	o.route.ExitRO(c, o)
 	c.emit(trace.End, "ro:"+o.Name, 0)
 	delete(c.scopes, o)
 }
@@ -141,7 +141,7 @@ func (c *Ctx) Fence() {
 // same as Fence (nothing); the difference is the weaker model constraint,
 // which the recorder verifies.
 func (c *Ctx) FenceObj(o *Object) {
-	c.rt.B.Fence(c)
+	o.route.Fence(c)
 	if c.rt.Recorder != nil {
 		c.rt.Recorder.fenceObj(c, o)
 	}
@@ -156,7 +156,7 @@ func (c *Ctx) Flush(o *Object) {
 		return
 	}
 	c.T.Exec(c.P, annotationOverhead)
-	c.rt.B.Flush(c, o)
+	o.route.Flush(c, o)
 	c.emit(trace.Instant, "flush:"+o.Name, 0)
 }
 
@@ -172,7 +172,7 @@ func (c *Ctx) Read32(o *Object, off int) uint32 {
 	if _, open := c.scopes[o]; !open {
 		c.rt.violate(c, "read", o, "access outside any entry/exit scope")
 	}
-	v := c.rt.B.Read32(c, o, off)
+	v := o.route.Read32(c, o, off)
 	if c.rt.Recorder != nil {
 		c.rt.Recorder.read(c, o, off, v)
 	}
@@ -189,7 +189,7 @@ func (c *Ctx) Write32(o *Object, off int, v uint32) {
 	if s, open := c.scopes[o]; !open || s.mode != scopeX {
 		c.rt.violate(c, "write", o, "write outside entry_x/exit_x scope")
 	}
-	c.rt.B.Write32(c, o, off, v)
+	o.route.Write32(c, o, off, v)
 	if c.rt.Recorder != nil {
 		c.rt.Recorder.write(c, o, off, v)
 	}
@@ -225,7 +225,7 @@ func (c *Ctx) ReadBlock(o *Object, off int, dst []uint32) {
 	if _, open := c.scopes[o]; !open {
 		c.rt.violate(c, "read-block", o, "access outside any entry/exit scope")
 	}
-	c.rt.B.ReadRange(c, o, off, dst)
+	o.route.ReadRange(c, o, off, dst)
 	if c.rt.Recorder != nil {
 		c.rt.Recorder.readRange(c, o, off, dst)
 	}
@@ -243,17 +243,19 @@ func (c *Ctx) WriteBlock(o *Object, off int, src []uint32) {
 	if s, open := c.scopes[o]; !open || s.mode != scopeX {
 		c.rt.violate(c, "write-block", o, "write outside entry_x/exit_x scope")
 	}
-	c.rt.B.WriteRange(c, o, off, src)
+	o.route.WriteRange(c, o, off, src)
 	if c.rt.Recorder != nil {
 		c.rt.Recorder.writeRange(c, o, off, src)
 	}
 }
 
 // Copy moves words consecutive words from src (open in any mode) at byte
-// offset srcOff into dst (open in X mode) at byte offset dstOff. Backends
-// with overlapped block-move hardware (DSM and SPM local-memory DMA)
-// execute it as a single transfer; others lower it to a ranged read
-// followed by a ranged write.
+// offset srcOff into dst (open in X mode) at byte offset dstOff. When both
+// objects route to the same backend and it has overlapped block-move
+// hardware (DSM and SPM local-memory DMA), the copy executes as a single
+// transfer; otherwise — including cross-backend copies between objects on
+// different routes — it lowers to a ranged read on the source's backend
+// followed by a ranged write on the destination's.
 func (c *Ctx) Copy(dst *Object, dstOff int, src *Object, srcOff int, words int) {
 	if words == 0 {
 		return
@@ -272,13 +274,13 @@ func (c *Ctx) Copy(dst *Object, dstOff int, src *Object, srcOff int, words int) 
 		vals  []uint32
 		accel bool
 	)
-	if rc, ok := c.rt.B.(rangeCopier); ok {
+	if rc, ok := src.route.(rangeCopier); ok && src.route == dst.route {
 		vals, accel = rc.CopyRange(c, dst, dstOff, src, srcOff, words, wantVals)
 	}
 	if !accel {
 		vals = make([]uint32, words)
-		c.rt.B.ReadRange(c, src, srcOff, vals)
-		c.rt.B.WriteRange(c, dst, dstOff, vals)
+		src.route.ReadRange(c, src, srcOff, vals)
+		dst.route.WriteRange(c, dst, dstOff, vals)
 	}
 	if c.rt.Recorder != nil {
 		c.rt.Recorder.copyRange(c, dst, dstOff, src, srcOff, vals)
@@ -366,9 +368,12 @@ type span struct {
 	size int
 }
 
-func (a *spmArena) init(limit int) {
+func (a *spmArena) init(base mem.Addr, limit int) {
 	a.inited = true
-	a.free = []span{{base: 0, size: limit}}
+	a.free = nil
+	if int(base) < limit {
+		a.free = []span{{base: base, size: limit - int(base)}}
+	}
 	a.limit = mem.Addr(limit)
 }
 

@@ -119,13 +119,24 @@ func (f *faulty) Flush(c *Ctx, o *Object) {
 	f.Backend.Flush(c, o)
 }
 
-func (f *faulty) Init(rt *Runtime) {
-	f.Backend.Init(rt)
-	if f.faults.DropTransfer && rt.Sys.DLock != nil {
-		// Erase the data-carrying transfer hook the backend set.
-		rt.Sys.DLock.OnTransfer = func(lockID, from, to int, t sim.Time) sim.Time { return t }
+// lockTransfer drops the data-carrying transfer (DropTransfer) or
+// delegates to the wrapped backend's transfer logic. The runtime's
+// per-object transfer mux calls it only for objects routed to this
+// wrapper, so a fault composed with routing hits exactly its own route.
+func (f *faulty) lockTransfer(rt *Runtime, o *Object, from, to int, t sim.Time) sim.Time {
+	if f.faults.DropTransfer {
+		return t // new owner computes on a stale replica / stale cache
 	}
+	if lt, ok := f.Backend.(lockTransferrer); ok {
+		return lt.lockTransfer(rt, o, from, to, t)
+	}
+	return t
 }
+
+// unwrap exposes the decorated backend so the runtime resolves the
+// object's effective protocol (e.g. the recorder's spm staging detection)
+// through the fault wrapper.
+func (f *faulty) unwrap() Backend { return f.Backend }
 
 // CopyRange forwards the optional block-copy capability of the wrapped
 // backend: faults disable protocol steps (flushes, transfers), never data

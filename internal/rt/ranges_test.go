@@ -11,7 +11,7 @@ import (
 // rangeBackends returns the four Table II backends (the lazy SWCC variant
 // shares swcc's data path).
 func rangeBackends() []Backend {
-	return []Backend{NoCC(), SWCC(), DSM(), SPM()}
+	return []Backend{NoCC(), SWCC(), DSM(), SPM(), Adaptive()}
 }
 
 // TestBlockRoundTripAllBackends writes a pattern with WriteBlock, copies it

@@ -75,7 +75,11 @@ func (r *Recorder) initObject(o *Object, words []uint32) {
 
 func (r *Recorder) proc(c *Ctx) core.ProcID { return core.ProcID(c.T.ID) }
 
-func (r *Recorder) spm() bool { return r.rt.B.Name() == "spm" }
+// staged reports whether o's effective protocol stages the object into
+// local memory for the scope (the spm backend, possibly reached through a
+// fault wrapper or the adaptive router): in-scope reads and writes touch
+// the staged copy, so the recorder maps the copy-in/copy-back instead.
+func (r *Recorder) staged(o *Object) bool { return r.rt.protoFor(o).Name() == "spm" }
 
 func (r *Recorder) acquire(c *Ctx, o *Object) {
 	ls, ok := r.locs[o.ID]
@@ -85,7 +89,7 @@ func (r *Recorder) acquire(c *Ctx, o *Object) {
 	for _, l := range ls {
 		r.Exec.Acquire(r.proc(c), l)
 	}
-	if r.spm() {
+	if r.staged(o) {
 		r.recordStage(c, o)
 	}
 }
@@ -95,7 +99,7 @@ func (r *Recorder) release(c *Ctx, o *Object) {
 	if !ok {
 		return
 	}
-	if r.spm() {
+	if r.staged(o) {
 		r.recordUnstage(c, o)
 	}
 	for _, l := range ls {
@@ -117,7 +121,7 @@ func (r *Recorder) enterRO(c *Ctx, o *Object) {
 			r.Exec.Acquire(r.proc(c), l)
 		}
 	}
-	if r.spm() {
+	if r.staged(o) {
 		r.recordStage(c, o)
 		if locked {
 			for _, l := range ls {
@@ -132,7 +136,7 @@ func (r *Recorder) exitRO(c *Ctx, o *Object) {
 	if !ok {
 		return
 	}
-	if r.spm() {
+	if r.staged(o) {
 		// The lock (if any) was already released after the copy.
 		return
 	}
@@ -185,7 +189,7 @@ func (r *Recorder) recordUnstage(c *Ctx, o *Object) {
 
 func (r *Recorder) read(c *Ctx, o *Object, off int, v uint32) {
 	ls, ok := r.locs[o.ID]
-	if !ok || r.spm() {
+	if !ok || r.staged(o) {
 		return // SPM in-scope reads hit the staged copy (recorded at entry)
 	}
 	r.verifyRead(c, o, off/4, ls[off/4], v)
@@ -207,7 +211,7 @@ func (r *Recorder) verifyRead(c *Ctx, o *Object, word int, l core.Loc, v uint32)
 
 func (r *Recorder) write(c *Ctx, o *Object, off int, v uint32) {
 	ls, ok := r.locs[o.ID]
-	if !ok || r.spm() {
+	if !ok || r.staged(o) {
 		return // SPM in-scope writes are recorded at copy-back
 	}
 	r.Exec.Write(r.proc(c), ls[off/4], core.Value(v))

@@ -23,6 +23,7 @@ package rt
 import (
 	"fmt"
 
+	"pmc/internal/lock"
 	"pmc/internal/mem"
 	"pmc/internal/sim"
 	"pmc/internal/soc"
@@ -70,10 +71,16 @@ type Object struct {
 	Addr mem.Addr
 	// LockID is the mutex protecting the object.
 	LockID int
+	// route is the backend every annotation and access on this object
+	// dispatches through (allocation-level consistency).
+	route Backend
 }
 
 // WordCount returns the number of 32-bit words the object spans.
 func (o *Object) WordCount() int { return (o.Size + 3) / 4 }
+
+// Backend returns the name of the backend this object is routed to.
+func (o *Object) Backend() string { return o.route.Name() }
 
 // Backend implements the annotations for one memory architecture
 // (Table II). All methods run in the calling worker's process context and
@@ -201,6 +208,46 @@ type replicated interface {
 	heapLimit(rt *Runtime) int
 }
 
+// lockTransferrer is the capability of backends whose protocol piggybacks
+// data movement on a lock handoff (dsm replica forwarding, cdsm cross-
+// cluster forwarding, swcc-lazy deferred flush). The runtime owns the
+// single DLock.OnTransfer hook and dispatches each transfer to the owning
+// object's route through this interface, so mixed-route runs compose:
+// every route sees exactly the handoffs of its own objects.
+type lockTransferrer interface {
+	lockTransfer(rt *Runtime, o *Object, from, to int, t sim.Time) sim.Time
+}
+
+// unwrapper is implemented by decorating backends (the fault injector) so
+// the runtime can see through them when resolving an object's effective
+// protocol (e.g. the recorder's staging special case for spm).
+type unwrapper interface {
+	unwrap() Backend
+}
+
+// protocolResolver is implemented by backends that route per-object to an
+// inner protocol (the adaptive backend): protocolFor returns the protocol
+// currently serving o.
+type protocolResolver interface {
+	protocolFor(o *Object) Backend
+}
+
+// protoFor resolves the effective protocol backend serving o right now,
+// seeing through decorators and the adaptive router.
+func (rt *Runtime) protoFor(o *Object) Backend {
+	b := o.route
+	for {
+		switch v := b.(type) {
+		case unwrapper:
+			b = v.unwrap()
+		case protocolResolver:
+			b = v.protocolFor(o)
+		default:
+			return b
+		}
+	}
+}
+
 // Violation is a breach of the annotation discipline detected at run time.
 type Violation struct {
 	Tile int
@@ -213,10 +260,20 @@ func (v Violation) Error() string {
 	return fmt.Sprintf("pmc discipline: tile %d: %s(%s): %s", v.Tile, v.Op, v.Obj, v.Msg)
 }
 
-// Runtime binds a simulated system, a backend, and the shared-object table.
+// Runtime binds a simulated system, a backend registry, and the
+// shared-object table. B is the default backend: Alloc routes objects to
+// it unless a placement rule or AllocOn says otherwise.
 type Runtime struct {
 	Sys *soc.System
 	B   Backend
+
+	// routes is the backend registry, keyed by Backend.Name(). Every
+	// backend here has been Init'ed against this runtime.
+	routes map[string]Backend
+
+	// placement maps object names (exact, or trailing-* prefix globs) to
+	// backend names; Alloc consults it before falling back to B.
+	placement map[string]string
 
 	objects   []*Object
 	objByLock map[int]*Object
@@ -252,16 +309,33 @@ func (rt *Runtime) clusterArena(cl int) *spmArena {
 	}
 	a := &rt.clusterArenas[cl]
 	if !a.inited {
-		a.init(rt.Sys.Cfg.ClusterMemBytes())
+		a.init(rt.stagingBase(), rt.Sys.Cfg.ClusterMemBytes())
 	}
 	return a
 }
 
+// stagingBase returns the offset where scratch-pad staging arenas may start
+// allocating. Replicated routes (dsm per tile, cdsm per cluster, adaptive)
+// mirror the shared heap 1:1 into the same memories the staging arenas
+// carve up — replicaAddr maps o.Addr straight to a local/cluster offset —
+// so when any such route is registered the arenas begin above the mirrored
+// heap, or a staged buffer and a live replica would silently overlap. With
+// no replicated route the arena owns the memory from offset zero, exactly
+// as a pure spm/cspm run always has.
+func (rt *Runtime) stagingBase() mem.Addr {
+	for _, b := range rt.routes {
+		if _, ok := b.(replicated); ok {
+			return rt.heapNext
+		}
+	}
+	return 0
+}
+
 // Backends lists the selectable backend names.
-var Backends = []string{"nocc", "swcc", "swcc-lazy", "dsm", "spm", "cdsm", "cspm"}
+var Backends = []string{"nocc", "swcc", "swcc-lazy", "dsm", "spm", "cdsm", "cspm", "adaptive"}
 
 // ByName returns a fresh backend by name: nocc, swcc, swcc-lazy, dsm, spm,
-// cdsm, cspm.
+// cdsm, cspm, adaptive.
 func ByName(name string) (Backend, error) {
 	switch name {
 	case "nocc", "sc":
@@ -278,27 +352,136 @@ func ByName(name string) (Backend, error) {
 		return CDSM(), nil
 	case "cspm":
 		return CSPM(), nil
+	case "adaptive":
+		return Adaptive(), nil
 	}
 	return nil, fmt.Errorf("rt: unknown backend %q (have %v)", name, Backends)
 }
 
-// New assembles a runtime over sys with the given backend.
-func New(sys *soc.System, b Backend) *Runtime {
+// New assembles a runtime over sys. def is the default backend: Alloc
+// routes objects to it unless a placement rule or AllocOn directs them
+// elsewhere. extra pre-registers additional routes; AllocOn also registers
+// routes lazily by name, so extra is only needed for backends that carry
+// non-default construction (e.g. fault-injected wrappers).
+func New(sys *soc.System, def Backend, extra ...Backend) *Runtime {
 	rt := &Runtime{
 		Sys:       sys,
-		B:         b,
+		B:         def,
+		routes:    make(map[string]Backend),
 		objByLock: make(map[int]*Object),
 		objByName: make(map[string]*Object),
 		heapNext:  heapBase,
 	}
-	b.Init(rt)
+	rt.register(def)
+	for _, b := range extra {
+		rt.register(b)
+	}
+	rt.installTransferMux()
 	return rt
 }
 
+// register Inits b against the runtime and adds it to the route registry.
+func (rt *Runtime) register(b Backend) {
+	name := b.Name()
+	if _, dup := rt.routes[name]; dup {
+		panic(fmt.Sprintf("rt: New: duplicate backend route %q in registry", name))
+	}
+	b.Init(rt)
+	rt.routes[name] = b
+}
+
+// installTransferMux points the distributed lock's single transfer hook at
+// the runtime's per-object dispatcher. Backend Inits may have installed
+// their own hook (the pre-routing convention); the mux supersedes them so
+// each handoff reaches exactly the owning object's route.
+func (rt *Runtime) installTransferMux() {
+	if rt.Sys.DLock == nil {
+		return
+	}
+	rt.Sys.DLock.OnTransfer = func(lockID, from, to int, t sim.Time) sim.Time {
+		o := rt.objByLock[lockID]
+		if o == nil || from == lock.NoHolder || from == to {
+			return t
+		}
+		if lt, ok := o.route.(lockTransferrer); ok {
+			return lt.lockTransfer(rt, o, from, to, t)
+		}
+		return t
+	}
+}
+
+// route resolves a backend name to a registered route, registering (and
+// Init'ing) a fresh instance on first use.
+func (rt *Runtime) route(backend string) (Backend, error) {
+	if b, ok := rt.routes[backend]; ok {
+		return b, nil
+	}
+	b, err := ByName(backend)
+	if err != nil {
+		return nil, err
+	}
+	// ByName aliases (e.g. "sc" → nocc) resolve to their canonical route.
+	if cur, ok := rt.routes[b.Name()]; ok {
+		return cur, nil
+	}
+	rt.register(b)
+	return b, nil
+}
+
+// SetPlacement installs the allocation routing table: object names (exact,
+// or trailing-* prefix globs like "grid*") to backend names. Subsequent
+// Alloc calls consult it before falling back to the default backend.
+// Unknown backend names surface as panics at the first matching Alloc.
+func (rt *Runtime) SetPlacement(place map[string]string) {
+	rt.placement = place
+}
+
+// placedBackend returns the placement-table backend name for an object
+// name: an exact match wins, then the longest trailing-* prefix glob.
+func (rt *Runtime) placedBackend(name string) (string, bool) {
+	if b, ok := rt.placement[name]; ok {
+		return b, true
+	}
+	best, bestLen := "", -1
+	for pat, b := range rt.placement {
+		if n := len(pat) - 1; n >= 0 && pat[n] == '*' &&
+			len(name) >= n && name[:n] == pat[:n] && n > bestLen {
+			best, bestLen = b, n
+		}
+	}
+	return best, bestLen >= 0
+}
+
 // Alloc creates a shared object of the given size (bytes), cache-line
-// aligned, protected by a fresh lock. Object names must be unique: the
-// runtime, traces and violation reports all identify objects by name.
+// aligned, protected by a fresh lock, routed to the default backend (or
+// the placement table's choice, if one matches). Object names must be
+// unique: the runtime, traces and violation reports all identify objects
+// by name.
 func (rt *Runtime) Alloc(name string, size int) *Object {
+	route := rt.B
+	if b, ok := rt.placedBackend(name); ok {
+		r, err := rt.route(b)
+		if err != nil {
+			panic(fmt.Sprintf("rt: Alloc(%q): placement: %v", name, err))
+		}
+		route = r
+	}
+	return rt.allocRoute(name, size, route)
+}
+
+// AllocOn is Alloc with an explicit backend route: the object's every
+// annotation and access dispatches through the named backend, regardless
+// of the runtime's default. The route is registered (and Init'ed) on first
+// use; unknown names panic.
+func (rt *Runtime) AllocOn(name string, size int, backend string) *Object {
+	r, err := rt.route(backend)
+	if err != nil {
+		panic(fmt.Sprintf("rt: AllocOn(%q): %v", name, err))
+	}
+	return rt.allocRoute(name, size, r)
+}
+
+func (rt *Runtime) allocRoute(name string, size int, route Backend) *Object {
 	if size <= 0 {
 		panic(fmt.Sprintf("rt: Alloc(%q): size %d must be positive (bytes)", name, size))
 	}
@@ -313,12 +496,18 @@ func (rt *Runtime) Alloc(name string, size int) *Object {
 		Size:   size,
 		Addr:   addr,
 		LockID: len(rt.objects),
+		route:  route,
 	}
 	rt.heapNext = addr + mem.Addr((size+int(line)-1)/int(line))*line
-	if d, ok := rt.B.(replicated); ok {
-		if limit := d.heapLimit(rt); int(rt.heapNext) > limit {
-			panic(fmt.Sprintf("rt: %s shared heap (%#x) exceeds replica memory (%#x): shrink the working set",
-				rt.B.Name(), rt.heapNext, limit))
+	// The replica-capacity bound applies whenever any registered route
+	// keeps full-heap replicas: replicas span the whole shared heap, so
+	// every allocation counts against the tightest registered limit.
+	for _, b := range rt.routes {
+		if d, ok := b.(replicated); ok {
+			if limit := d.heapLimit(rt); int(rt.heapNext) > limit {
+				panic(fmt.Sprintf("rt: %s shared heap (%#x) exceeds replica memory (%#x): shrink the working set",
+					b.Name(), rt.heapNext, limit))
+			}
 		}
 	}
 	if rt.heapNext >= codeBase {
@@ -348,7 +537,7 @@ func (rt *Runtime) InitObject(o *Object, words []uint32) {
 	for i, w := range words {
 		rt.Sys.SDRAM.Write32(o.Addr+mem.Addr(4*i), w)
 	}
-	if d, ok := rt.B.(replicated); ok {
+	if d, ok := o.route.(replicated); ok {
 		d.initReplicas(rt, o, words)
 	}
 	if rt.Recorder != nil {
@@ -361,7 +550,7 @@ func (rt *Runtime) InitObject(o *Object, words []uint32) {
 // the authoritative copy is the replica of the tile/cluster that last held
 // the object exclusively.
 func (rt *Runtime) ReadObjectWord(o *Object, wordIdx int) uint32 {
-	if d, ok := rt.B.(replicated); ok {
+	if d, ok := o.route.(replicated); ok {
 		return d.readCanonical(rt, o, wordIdx)
 	}
 	return rt.Sys.SDRAM.Read32(o.Addr + mem.Addr(4*wordIdx))

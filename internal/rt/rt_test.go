@@ -24,7 +24,7 @@ func testSys(t *testing.T, tiles int) *soc.System {
 
 // allBackends returns a fresh instance of every backend, keyed by name.
 func allBackends() []Backend {
-	return []Backend{NoCC(), SWCC(), SWCCLazy(), DSM(), SPM(), CDSM(), CSPM()}
+	return []Backend{NoCC(), SWCC(), SWCCLazy(), DSM(), SPM(), CDSM(), CSPM(), Adaptive()}
 }
 
 // pollUntil spins on a word-sized object until it reads want.

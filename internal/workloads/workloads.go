@@ -153,6 +153,13 @@ func Scaled(name string, small bool) (App, bool) {
 	return app, true
 }
 
+// RunPlaced is Run with a per-object placement table installed before
+// Setup: object names (exact, or trailing-* prefix globs) route to named
+// backends, everything else to the run's default backend.
+func RunPlaced(app App, cfg soc.Config, backendName string, place map[string]string) (*Result, error) {
+	return run(app, cfg, backendName, func(r *rt.Runtime) { r.SetPlacement(place) })
+}
+
 // RunTraced is Run with an event tracer attached; the trace is returned for
 // CSV or Chrome-trace export.
 func RunTraced(app App, cfg soc.Config, backendName string, limit int) (*Result, *trace.Trace, error) {

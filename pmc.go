@@ -178,6 +178,12 @@ const (
 	FuzzMixed = fuzz.ModeMixed
 )
 
+// MixedBackend is the pseudo-backend name conformance checks and fuzz
+// campaigns accept alongside real backend names: the program's per-object
+// placement routes each object to its named backend (unplaced objects run
+// on nocc).
+const MixedBackend = conform.MixedBackend
+
 // ConformCheck explores prog under the model and executes it on the named
 // backend under timing perturbations; observed outcomes must be a subset
 // of the model's.
@@ -349,6 +355,13 @@ var (
 // RunApp executes a workload on a fresh system with the named backend.
 func RunApp(app App, cfg Config, backend string) (*Result, error) {
 	return workloads.Run(app, cfg, backend)
+}
+
+// RunAppPlaced is RunApp with a per-object placement table: object names
+// (exact, or trailing-* prefix globs) route to named backends, everything
+// else to the run's default backend.
+func RunAppPlaced(app App, cfg Config, backend string, place map[string]string) (*Result, error) {
+	return workloads.RunPlaced(app, cfg, backend, place)
 }
 
 // RunAppTraced is RunApp with an event tracer attached.
