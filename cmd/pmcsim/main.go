@@ -40,6 +40,7 @@ func main() {
 		runApp   = flag.String("run", "", "run one workload (see -list) instead of an experiment")
 		backend  = flag.String("backend", "swcc", "backend for -run: "+strings.Join(pmc.BackendNames(), ", "))
 		place    = flag.String("place", "", `with -run: per-object placement "obj=backend,..." (trailing-* globs match name prefixes; unmatched objects use -backend)`)
+		load     = flag.Float64("load", 0, "with -run: offered load in requests per kilocycle for the open-loop service workloads (0 = workload default)")
 		traceOut = flag.String("trace", "", "with -run: write a Chrome-trace JSON of the run to this file")
 		clusters = flag.Int("clusters", 0, "with -run or -sweep: cluster count (0 = derived from the topology, 1 = flat)")
 		queue    = flag.String("queue", "wheel", `with -run or -sweep: event-queue implementation, "wheel" or "heap" (results identical)`)
@@ -85,7 +86,7 @@ func main() {
 		}
 		return
 	case *runApp != "":
-		if err := runWorkload(*runApp, *backend, *tiles, *topo, *clusters, qkind, *traceOut, placement); err != nil {
+		if err := runWorkload(*runApp, *backend, *tiles, *topo, *clusters, qkind, *load, *traceOut, placement); err != nil {
 			fail(err)
 		}
 		return
@@ -303,13 +304,21 @@ func parsePlacement(s string) (map[string]string, error) {
 	return place, nil
 }
 
-func runWorkload(name, backend string, tiles int, topo string, clusters int, qkind pmc.EventQueueKind, traceOut string, place map[string]string) error {
+func runWorkload(name, backend string, tiles int, topo string, clusters int, qkind pmc.EventQueueKind, load float64, traceOut string, place map[string]string) error {
 	app, ok := pmc.AppByName(name)
 	if !ok {
 		return usagef("unknown workload %q (have %s)", name, strings.Join(pmc.AppNames(), ", "))
 	}
 	if _, err := pmc.BackendByName(backend); err != nil {
 		return usagef("bad -backend: %v", err)
+	}
+	if load != 0 {
+		if load < 0 {
+			return usagef("-load must be positive, got %g", load)
+		}
+		if !pmc.SetOfferedLoad(app, load) {
+			return usagef("-load only applies to the open-loop service workloads, not %q", name)
+		}
 	}
 	if place != nil && traceOut != "" {
 		return usagef("-place and -trace cannot be combined")
@@ -357,5 +366,9 @@ func runWorkload(name, backend string, tiles int, topo string, clusters int, qki
 	}
 	fmt.Printf("%s on %s, %d tiles: %d cycles, checksum %#x, utilization %.1f%%\n",
 		res.App, res.Backend, res.Tiles, res.Cycles, res.Checksum, 100*res.Utilization())
+	if res.Service != nil {
+		fmt.Print("service: ")
+		res.Service.Render(os.Stdout, res.Cycles)
+	}
 	return nil
 }

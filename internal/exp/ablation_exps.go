@@ -104,7 +104,7 @@ func runAblationRelease(w io.Writer, o Options) error {
 		return fmt.Errorf("ablation-release: checksums differ — lazy release lost data")
 	}
 	fmt.Fprintf(w, "\nlazy release wins %.1f%% on this re-acquire-heavy pattern: data stays cached\n",
-		stats.Speedup(table.Rows[0].Result, table.Rows[1].Result))
+		stats.Speedup(table.Rows[0].Result.Cycles, table.Rows[1].Result.Cycles))
 	fmt.Fprintln(w, "across scopes of the same tile and is flushed only on real ownership transfer.")
 	return nil
 }

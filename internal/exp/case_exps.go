@@ -109,8 +109,9 @@ func runFig8(w io.Writer, o Options) error {
 		return err
 	}
 	groups := make(map[string][]*workloads.Result)
+	samples := make(map[string][]stats.Sample)
 	var order []string
-	var results []*workloads.Result
+	var results []stats.Sample
 	type pair struct{ no, sw *workloads.Result }
 	pairs := make(map[string]pair)
 	for _, r := range table.Rows {
@@ -119,7 +120,8 @@ func runFig8(w io.Writer, o Options) error {
 			order = append(order, r.App)
 		}
 		groups[r.App] = append(groups[r.App], res)
-		results = append(results, res)
+		samples[r.App] = append(samples[r.App], res.Sample())
+		results = append(results, res.Sample())
 		p := pairs[r.App]
 		if r.Backend == "nocc" {
 			p.no = res
@@ -135,14 +137,14 @@ func runFig8(w io.Writer, o Options) error {
 			return fmt.Errorf("fig8: %s checksum differs between backends", name)
 		}
 	}
-	stats.RenderFig8(w, groups, order)
+	stats.RenderFig8(w, samples, order)
 	fmt.Fprintln(w)
 	stats.RenderExtended(w, results)
 	fmt.Fprintln(w)
 	var sum float64
 	for _, name := range order {
 		p := pairs[name]
-		sp := stats.Speedup(p.no, p.sw)
+		sp := stats.Speedup(p.no.Cycles, p.sw.Cycles)
 		sum += sp
 		fmt.Fprintf(w, "%-10s exec time improvement: %5.1f%%   utilization %4.1f%% -> %4.1f%%   flush instr overhead %.2f%%\n",
 			name, sp, 100*p.no.Utilization(), 100*p.sw.Utilization(), p.sw.FlushOverheadPct())

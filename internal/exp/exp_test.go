@@ -23,7 +23,7 @@ func TestRegistryComplete(t *testing.T) {
 		"ablation-locks", "ablation-release", "ablation-scaling", "ablation-dcache", "ablation-granularity",
 		"ablation-explorer", "bulk-ablation", "mixed-ablation",
 		"ext-stencil", "ext-pc", "ext-scoped-fence", "ext-mesh", "ext-conformance",
-		"sweep-scaling", "sweep-clusters", "fuzz",
+		"sweep-scaling", "sweep-clusters", "sweep-services", "fuzz",
 	}
 	for _, id := range want {
 		if _, ok := ByID(id); !ok {
@@ -84,6 +84,22 @@ func TestSweepClustersSmall(t *testing.T) {
 		"cluster:8xring", "cluster:16xmesh", "1024-tile smoke", "local/global", "speedup"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("sweep-clusters missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+// TestSweepServicesSmall: the open-loop service grid completes at CI size.
+// The experiment itself asserts full-request completion, cross-cell checksum
+// portability, and byte-identical emission across worker counts and event
+// queues — any violation surfaces here as an experiment error. The report
+// must carry the latency tables for all three scenarios on both shapes.
+func TestSweepServicesSmall(t *testing.T) {
+	out := small(t, "sweep-services")
+	for _, want := range []string{"server", "kvstore", "stream",
+		"nocc", "dsm", "adaptive", "cdsm", "cluster:4xring",
+		"p50/p99", "byte-identically", "req/kcycle"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("sweep-services missing %q in:\n%s", want, out)
 		}
 	}
 }

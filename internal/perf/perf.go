@@ -344,11 +344,23 @@ func runSim(sb *SimBench) ([]Metric, error) {
 	if err != nil {
 		return nil, err
 	}
-	return []Metric{
+	ms := []Metric{
 		{Name: "sim-cycles", Value: float64(res.Cycles), Exact: true},
 		{Name: "flit-hops", Value: float64(res.FlitHops), Exact: true},
 		{Name: "checksum", Value: float64(res.Checksum), Exact: true},
-	}, nil
+	}
+	// Service workloads additionally gate on the exact tail-latency
+	// metrics: any p50/p99 drift — a scheduling or protocol change
+	// reaching request timing — fails the bench gate just like a
+	// sim-cycles drift.
+	if res.Service != nil {
+		ms = append(ms,
+			Metric{Name: "requests", Value: float64(res.Service.Completed), Exact: true},
+			Metric{Name: "p50-latency", Value: float64(res.Service.P50()), Exact: true},
+			Metric{Name: "p99-latency", Value: float64(res.Service.P99()), Exact: true},
+		)
+	}
+	return ms, nil
 }
 
 func runLitmus(lb *LitmusBench) ([]Metric, error) {

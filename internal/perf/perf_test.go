@@ -109,6 +109,56 @@ func TestBenchRunDeterministic(t *testing.T) {
 	}
 }
 
+// TestServiceEntriesLatencyGated: service-workload entries must emit the
+// tail-latency metrics as exact (gated), kernels must not, and both
+// builtin suites must contain latency-gated entries.
+func TestServiceEntriesLatencyGated(t *testing.T) {
+	ms, err := RunEntry(simE("e", "server", "dsm", 8, "", true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[string]Metric{}
+	for _, m := range ms {
+		got[m.Name] = m
+	}
+	for _, name := range []string{"requests", "p50-latency", "p99-latency"} {
+		m, ok := got[name]
+		if !ok {
+			t.Fatalf("service entry missing metric %s (have %v)", name, ms)
+		}
+		if !m.Exact || m.Value <= 0 {
+			t.Errorf("metric %s: exact=%v value=%v, want gated positive", name, m.Exact, m.Value)
+		}
+	}
+	if got["p50-latency"].Value > got["p99-latency"].Value {
+		t.Errorf("p50 %v > p99 %v", got["p50-latency"].Value, got["p99-latency"].Value)
+	}
+	kernel, err := RunEntry(simE("k", "radiosity", "nocc", 4, "", true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range kernel {
+		if m.Name == "p50-latency" {
+			t.Error("kernel entry emits latency metrics")
+		}
+	}
+	for _, suite := range []string{"ci", "full"} {
+		spec, err := Suite(suite)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := 0
+		for _, e := range spec.Entries {
+			if e.Sim != nil && (e.Sim.App == "server" || e.Sim.App == "kvstore" || e.Sim.App == "stream") {
+				n++
+			}
+		}
+		if n == 0 {
+			t.Errorf("suite %s has no latency-gated service entries", suite)
+		}
+	}
+}
+
 // report builds a one-entry report for the Compare table test.
 func report(metrics ...Metric) *Report {
 	return &Report{

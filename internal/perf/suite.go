@@ -73,6 +73,17 @@ func ciSuite() []Entry {
 	// and one with per-object placement (the "mixed" pseudo-backend).
 	es = append(es, Entry{Name: "fuzz/mixed/seed1/n50", Fuzz: &FuzzBench{Seed: 1, N: 50, Mode: "mixed", Runs: 2}})
 	es = append(es, Entry{Name: "fuzz/placed/seed2/n50", Fuzz: &FuzzBench{Seed: 2, N: 50, Mode: "drf", Backends: []string{"nocc", "mixed"}, Runs: 2}})
+	// Open-loop services: the first latency-gated entries — their exact
+	// metrics include requests and p50/p99 simulated latency, so any
+	// tail-latency drift fails the gate.
+	es = append(es,
+		simE("sim/server/nocc/8t", "server", "nocc", 8, "", true),
+		simE("sim/server/dsm/8t", "server", "dsm", 8, "", true),
+		simE("sim/server/adaptive/8t", "server", "adaptive", 8, "", true),
+		simE("sim/kvstore/dsm/8t", "kvstore", "dsm", 8, "", true),
+		simE("sim/kvstore/cdsm/16t/c4xring", "kvstore", "cdsm", 16, "cluster:4xring", true),
+		simE("sim/stream/dsm/8t", "stream", "dsm", 8, "", true),
+	)
 	return es
 }
 
@@ -114,6 +125,15 @@ func fullSuite() []Entry {
 	)
 	es = append(es, Entry{Name: "fuzz/mixed/seed1/n300", Fuzz: &FuzzBench{Seed: 1, N: 300, Mode: "mixed", Runs: 3}})
 	es = append(es, Entry{Name: "fuzz/placed/seed2/n300", Fuzz: &FuzzBench{Seed: 2, N: 300, Mode: "drf", Backends: []string{"nocc", "mixed"}, Runs: 3}})
+	// Paper-scale open-loop services with latency-gated exact metrics.
+	es = append(es,
+		simE("sim/server/nocc/32t", "server", "nocc", 32, "", false),
+		simE("sim/server/dsm/32t", "server", "dsm", 32, "", false),
+		simE("sim/server/adaptive/32t", "server", "adaptive", 32, "", false),
+		simE("sim/kvstore/dsm/32t", "kvstore", "dsm", 32, "", false),
+		simE("sim/kvstore/cdsm/64t/c8xring", "kvstore", "cdsm", 64, "cluster:8xring", false),
+		simE("sim/stream/dsm/32t", "stream", "dsm", 32, "", false),
+	)
 	return es
 }
 

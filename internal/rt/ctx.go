@@ -62,6 +62,16 @@ func (c *Ctx) Tile() int { return c.T.ID }
 // Now returns the current simulated time.
 func (c *Ctx) Now() sim.Time { return c.P.Now() }
 
+// WaitUntil blocks the worker until simulated time t. Times at or before
+// the present return immediately — the open-loop workloads use this to
+// pace request arrivals, and a source that has fallen behind its schedule
+// must not rewind the clock.
+func (c *Ctx) WaitUntil(t sim.Time) {
+	if t > c.P.Now() {
+		c.P.WaitUntil(t)
+	}
+}
+
 // EntryX opens exclusive read/write access to o (issues an acquire).
 func (c *Ctx) EntryX(o *Object) {
 	if _, open := c.scopes[o]; open {

@@ -1,0 +1,185 @@
+package stats
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"math/bits"
+)
+
+// Hist is an exact, deterministic latency histogram over uint64 values
+// (simulated cycles). The bucket layout is fixed — HDR-style log-spaced:
+// values 0..7 get one bucket each, and every power-of-two octave above
+// that is split into 8 linear sub-buckets, so the relative quantization
+// error is bounded by 1/8 at every magnitude. With fixed boundaries and
+// integer counts, two histograms built from the same multiset of values
+// are identical regardless of insertion order, and Merge is a plain
+// element-wise add — the properties the sweep's any-worker-count
+// byte-identity guarantee needs.
+type Hist struct {
+	counts [histBuckets]uint64
+	n      uint64
+	min    uint64
+	max    uint64
+	sum    uint64
+}
+
+const (
+	// 8 exact buckets for 0..7, then 8 sub-buckets for each of the 61
+	// octaves [2^3,2^4) .. [2^63,2^64).
+	histBuckets = 8 + 61*8
+)
+
+// bucketIndex maps a value to its fixed bucket.
+func bucketIndex(v uint64) int {
+	if v < 8 {
+		return int(v)
+	}
+	msb := bits.Len64(v) - 1        // 3..63
+	sub := (v >> (msb - 3)) & 7     // top-3 bits below the leading one
+	return 8 + (msb-3)*8 + int(sub) // octave group, linear sub-bucket
+}
+
+// bucketUpper returns the largest value mapping to bucket i.
+func bucketUpper(i int) uint64 {
+	if i < 8 {
+		return uint64(i)
+	}
+	g := (i - 8) / 8   // octave group: leading bit at position g+3
+	sub := (i - 8) % 8 // linear sub-bucket within the octave
+	width := uint64(1) << g
+	lo := uint64(1)<<(g+3) + uint64(sub)*width
+	return lo + width - 1
+}
+
+// Add records one value.
+func (h *Hist) Add(v uint64) {
+	h.counts[bucketIndex(v)]++
+	if h.n == 0 || v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+	h.n++
+	h.sum += v
+}
+
+// Merge adds o's counts into h (element-wise; associative and
+// commutative, so any merge order yields the same histogram).
+func (h *Hist) Merge(o *Hist) {
+	if o == nil || o.n == 0 {
+		return
+	}
+	for i, c := range o.counts {
+		h.counts[i] += c
+	}
+	if h.n == 0 || o.min < h.min {
+		h.min = o.min
+	}
+	if o.max > h.max {
+		h.max = o.max
+	}
+	h.n += o.n
+	h.sum += o.sum
+}
+
+// Count returns the number of recorded values.
+func (h *Hist) Count() uint64 { return h.n }
+
+// Min and Max return the exact extremes (0 when empty).
+func (h *Hist) Min() uint64 {
+	if h.n == 0 {
+		return 0
+	}
+	return h.min
+}
+func (h *Hist) Max() uint64 { return h.max }
+
+// Mean returns the exact arithmetic mean (0 when empty).
+func (h *Hist) Mean() float64 {
+	if h.n == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.n)
+}
+
+// Quantile returns the value at quantile q in [0,1]: the upper bound of
+// the bucket containing the rank-⌈q·n⌉ value (clamped to the observed
+// max, so Quantile(1) is exact). Values below 8 and within octave 3 are
+// bucket-exact; above that the result over-reports by at most one bucket
+// width (≤ 12.5 % of the value). Deterministic: a pure function of the
+// integer bucket counts.
+func (h *Hist) Quantile(q float64) uint64 {
+	if h.n == 0 {
+		return 0
+	}
+	rank := uint64(math.Ceil(q * float64(h.n)))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > h.n {
+		rank = h.n
+	}
+	var cum uint64
+	for i, c := range h.counts {
+		cum += c
+		if cum >= rank {
+			u := bucketUpper(i)
+			if u > h.max {
+				u = h.max
+			}
+			return u
+		}
+	}
+	return h.max
+}
+
+// Fingerprint folds the bucket counts into a 32-bit digest (FNV-1a over
+// index/count pairs of non-empty buckets). Two histograms fingerprint
+// equal iff their counts are identical — the compact determinism witness
+// sweep rows and experiments compare across worker counts.
+func (h *Hist) Fingerprint() uint32 {
+	const (
+		offset = 2166136261
+		prime  = 16777619
+	)
+	fp := uint32(offset)
+	mix := func(v uint64) {
+		for s := 0; s < 64; s += 8 {
+			fp ^= uint32(v>>s) & 0xff
+			fp *= prime
+		}
+	}
+	for i, c := range h.counts {
+		if c != 0 {
+			mix(uint64(i))
+			mix(c)
+		}
+	}
+	return fp
+}
+
+// Render prints the non-empty buckets with a proportional bar — a
+// human-readable dump for experiment reports.
+func (h *Hist) Render(w io.Writer) {
+	if h.n == 0 {
+		fmt.Fprintln(w, "  (empty)")
+		return
+	}
+	var peak uint64
+	for _, c := range h.counts {
+		if c > peak {
+			peak = c
+		}
+	}
+	for i, c := range h.counts {
+		if c == 0 {
+			continue
+		}
+		barLen := int(c * 40 / peak)
+		fmt.Fprintf(w, "  ≤%10d %8d %s\n", bucketUpper(i), c, strings40[:barLen])
+	}
+}
+
+const strings40 = "########################################"

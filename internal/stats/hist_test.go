@@ -1,0 +1,268 @@
+package stats
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"pmc/internal/sim"
+)
+
+// TestBucketBoundaries pins the fixed bucket layout: values 0..7 are
+// bucket-exact, each octave above splits into 8 linear sub-buckets, and
+// bucketUpper is the inverse (largest value mapping back to the bucket).
+func TestBucketBoundaries(t *testing.T) {
+	cases := []struct {
+		v     uint64
+		idx   int
+		upper uint64
+	}{
+		{0, 0, 0},
+		{1, 1, 1},
+		{7, 7, 7},
+		{8, 8, 8},    // first octave [8,16): width-1 sub-buckets
+		{15, 15, 15}, // last exact value
+		{16, 16, 17}, // octave [16,32): width-2 sub-buckets
+		{17, 16, 17},
+		{18, 17, 19},
+		{31, 23, 31},
+		{32, 24, 35}, // octave [32,64): width-4
+		{35, 24, 35},
+		{36, 25, 39},
+		{63, 31, 63},
+		{1024, 8 + 7*8, 1151}, // octave [1024,2048): width-128
+		{1151, 8 + 7*8, 1151},
+		{1152, 8 + 7*8 + 1, 1279},
+		{1 << 62, 8 + 59*8, 1<<62 + 1<<59 - 1},
+		{^uint64(0), histBuckets - 1, ^uint64(0)},
+	}
+	for _, tc := range cases {
+		if got := bucketIndex(tc.v); got != tc.idx {
+			t.Errorf("bucketIndex(%d) = %d, want %d", tc.v, got, tc.idx)
+		}
+		if got := bucketUpper(tc.idx); got != tc.upper {
+			t.Errorf("bucketUpper(%d) = %d, want %d", tc.idx, got, tc.upper)
+		}
+	}
+	// Structural invariants over the full layout: upper bounds strictly
+	// increase, and every upper bound maps back to its own bucket.
+	prev := ^uint64(0)
+	for i := 0; i < histBuckets; i++ {
+		u := bucketUpper(i)
+		if i > 0 && u <= prev {
+			t.Fatalf("bucketUpper not increasing at %d: %d <= %d", i, u, prev)
+		}
+		if got := bucketIndex(u); got != i {
+			t.Fatalf("bucketUpper(%d)=%d maps back to bucket %d", i, u, got)
+		}
+		prev = u
+	}
+}
+
+// TestQuantileEdges drives Quantile through the edge ranks on exact
+// (small-value) buckets where the answer must be precise.
+func TestQuantileEdges(t *testing.T) {
+	cases := []struct {
+		name   string
+		values []uint64
+		q      float64
+		want   uint64
+	}{
+		{"empty", nil, 0.5, 0},
+		{"single-q0", []uint64{5}, 0, 5},
+		{"single-q1", []uint64{5}, 1, 5},
+		{"pair-median", []uint64{1, 3}, 0.5, 1}, // rank ceil(0.5*2)=1
+		{"pair-p99", []uint64{1, 3}, 0.99, 3},   // rank 2
+		{"ten-p50", []uint64{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}, 0.5, 4},
+		{"ten-p99", []uint64{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}, 0.99, 9},
+		{"ten-p10", []uint64{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}, 0.1, 0},
+		{"repeated", []uint64{4, 4, 4, 4, 7}, 0.5, 4},
+		{"q1-clamps-to-max", []uint64{100, 200}, 1, 200}, // upper bound 207 clamped to observed max
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var h Hist
+			for _, v := range tc.values {
+				h.Add(v)
+			}
+			if got := h.Quantile(tc.q); got != tc.want {
+				t.Fatalf("Quantile(%g) = %d, want %d", tc.q, got, tc.want)
+			}
+		})
+	}
+}
+
+// TestQuantileErrorBound: above the exact range, the reported quantile
+// over-reports by at most one sub-bucket width (12.5 % of the value).
+func TestQuantileErrorBound(t *testing.T) {
+	var h Hist
+	r := uint32(12345)
+	var maxV uint64
+	for i := 0; i < 1000; i++ {
+		r ^= r << 13
+		r ^= r >> 17
+		r ^= r << 5
+		v := uint64(r % 100000)
+		h.Add(v)
+		if v > maxV {
+			maxV = v
+		}
+	}
+	for _, q := range []float64{0.5, 0.9, 0.99, 0.999, 1} {
+		got := h.Quantile(q)
+		if got > maxV {
+			t.Errorf("Quantile(%g) = %d exceeds observed max %d", q, got, maxV)
+		}
+		// The true rank value is ≥ the lower bound of the chosen bucket,
+		// so got/(1+1/8) is a lower bound on the true quantile.
+		if float64(got) > 1.125*float64(maxV) {
+			t.Errorf("Quantile(%g) = %d violates 12.5%% bound (max %d)", q, got, maxV)
+		}
+	}
+}
+
+// TestMergeAssociativity: merging in any grouping/order yields identical
+// histograms — the property the sweep's worker-count determinism rests on.
+func TestMergeAssociativity(t *testing.T) {
+	mk := func(seed uint32, n int) *Hist {
+		h := &Hist{}
+		r := seed
+		for i := 0; i < n; i++ {
+			r ^= r << 13
+			r ^= r >> 17
+			r ^= r << 5
+			h.Add(uint64(r % 5000))
+		}
+		return h
+	}
+	a, b, c := mk(1, 100), mk(2, 57), mk(3, 333)
+
+	// (a ⊕ b) ⊕ c
+	left := &Hist{}
+	left.Merge(a)
+	left.Merge(b)
+	left.Merge(c)
+	// a ⊕ (b ⊕ c)
+	bc := &Hist{}
+	bc.Merge(b)
+	bc.Merge(c)
+	right := &Hist{}
+	right.Merge(a)
+	right.Merge(bc)
+	// c ⊕ b ⊕ a (commutativity)
+	rev := &Hist{}
+	rev.Merge(c)
+	rev.Merge(b)
+	rev.Merge(a)
+
+	for _, o := range []*Hist{right, rev} {
+		if *left != *o {
+			t.Fatalf("merge grouping/order changed the histogram:\n%v\nvs\n%v", *left, *o)
+		}
+	}
+	if left.Count() != 490 {
+		t.Fatalf("merged count %d, want 490", left.Count())
+	}
+	if left.Fingerprint() != right.Fingerprint() || left.Fingerprint() != rev.Fingerprint() {
+		t.Fatal("fingerprints differ across merge orders")
+	}
+	// Merging an empty histogram is the identity.
+	id := &Hist{}
+	id.Merge(left)
+	id.Merge(&Hist{})
+	id.Merge(nil)
+	if *id != *left {
+		t.Fatal("empty/nil merge not the identity")
+	}
+}
+
+func TestHistStats(t *testing.T) {
+	var h Hist
+	for _, v := range []uint64{10, 20, 30} {
+		h.Add(v)
+	}
+	if h.Min() != 10 || h.Max() != 30 || h.Count() != 3 {
+		t.Fatalf("min/max/count = %d/%d/%d", h.Min(), h.Max(), h.Count())
+	}
+	if h.Mean() != 20 {
+		t.Fatalf("mean = %f, want 20", h.Mean())
+	}
+	var empty Hist
+	if empty.Min() != 0 || empty.Max() != 0 || empty.Mean() != 0 {
+		t.Fatal("empty histogram stats not zero")
+	}
+	var buf bytes.Buffer
+	h.Render(&buf)
+	if !strings.Contains(buf.String(), "≤") {
+		t.Fatalf("Render produced no buckets:\n%s", buf.String())
+	}
+}
+
+func TestSeriesMergeAndReaders(t *testing.T) {
+	a := NewSeries(100)
+	a.RecordDone(0)
+	a.RecordDone(99)
+	a.RecordDone(250)
+	a.RecordBusy(250, 50)
+	b := NewSeries(100)
+	b.RecordDone(110)
+	b.RecordBusy(20, 80)
+	a.Merge(b)
+	if want := []uint64{2, 1, 1}; len(a.Done) != 3 || a.Done[0] != want[0] || a.Done[1] != want[1] || a.Done[2] != want[2] {
+		t.Fatalf("merged Done = %v, want %v", a.Done, want)
+	}
+	if a.Busy[0] != 80 || a.Busy[2] != 50 {
+		t.Fatalf("merged Busy = %v", a.Busy)
+	}
+	if got := a.Throughput(0); got != 20 { // 2 completions / 100 cycles = 20/kcycle
+		t.Fatalf("Throughput(0) = %f, want 20", got)
+	}
+	if got := a.Utilization(0, 4); got != 0.2 { // 80 busy / (4 cores * 100)
+		t.Fatalf("Utilization(0,4) = %f, want 0.2", got)
+	}
+	if a.Throughput(99) != 0 || a.Utilization(-1, 4) != 0 {
+		t.Fatal("out-of-range readers must return 0")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("merging mismatched intervals must panic")
+		}
+	}()
+	a.Merge(NewSeries(50))
+}
+
+func TestServiceMergeAndQuantiles(t *testing.T) {
+	s := NewService(1000)
+	s.Offered = 10
+	for i := 0; i < 8; i++ {
+		s.Latency.Add(uint64(10 + i))
+		s.Series.RecordDone(sim.Time(i * 300))
+		s.Completed++
+	}
+	o := NewService(1000)
+	o.Offered = 2
+	o.Completed = 2
+	o.Latency.Add(500)
+	o.Latency.Add(7)
+	o.Series.RecordDone(2500)
+	s.Merge(o)
+	if s.Offered != 12 || s.Completed != 10 {
+		t.Fatalf("merged offered/completed = %d/%d", s.Offered, s.Completed)
+	}
+	if got := s.P50(); got != 13 { // rank 5 of {7,10..17,500}
+		t.Fatalf("P50 = %d, want 13", got)
+	}
+	if got := s.P99(); got != 500 { // rank 10 → bucket of 500, clamped to max
+		t.Fatalf("P99 = %d, want 500", got)
+	}
+	if got := s.Throughput(5000); got != 2 { // 10 per 5000 cycles
+		t.Fatalf("Throughput = %f, want 2", got)
+	}
+	var buf bytes.Buffer
+	s.Render(&buf, 5000)
+	for _, want := range []string{"p50", "p99", "req/kcycle", "10/12"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("service summary missing %q:\n%s", want, buf.String())
+		}
+	}
+}

@@ -2,21 +2,19 @@ package stats
 
 import (
 	"bytes"
+	"math"
 	"strings"
 	"testing"
 
 	"pmc/internal/sim"
 	"pmc/internal/soc"
-	"pmc/internal/workloads"
 )
 
-func fakeResult(app, backend string, cycles sim.Time) *workloads.Result {
-	return &workloads.Result{
-		App:     app,
-		Backend: backend,
-		Tiles:   4,
-		Cycles:  cycles,
-		Total: soc.TileStats{
+func fakeSample(app, backend string, cycles sim.Time) Sample {
+	return Sample{
+		Label:  app + " (" + backend + ")",
+		Cycles: cycles,
+		Stats: soc.TileStats{
 			Busy:            cycles * 2,
 			IStall:          cycles,
 			SharedReadStall: cycles,
@@ -26,8 +24,8 @@ func fakeResult(app, backend string, cycles sim.Time) *workloads.Result {
 }
 
 func TestBreakdownFractionsSumToOne(t *testing.T) {
-	r := fakeResult("app", "nocc", 1000)
-	b := NewBreakdown(r, r.Cycles)
+	s := fakeSample("app", "nocc", 1000)
+	b := NewBreakdown(s, s.Cycles)
 	var sum float64
 	for _, f := range b.Frac {
 		sum += f
@@ -41,17 +39,54 @@ func TestBreakdownFractionsSumToOne(t *testing.T) {
 }
 
 func TestBreakdownNormalization(t *testing.T) {
-	ref := fakeResult("app", "nocc", 1000)
-	faster := fakeResult("app", "swcc", 750)
+	ref := fakeSample("app", "nocc", 1000)
+	faster := fakeSample("app", "swcc", 750)
 	b := NewBreakdown(faster, ref.Cycles)
 	if b.Norm != 0.75 {
 		t.Fatalf("norm = %f, want 0.75", b.Norm)
 	}
 }
 
+// TestBreakdownZeroReference is the regression test for the unguarded
+// division: a zero-cycle reference run used to put +Inf (or NaN for a
+// zero-cycle run) into Norm, which then poisoned the rendered bars.
+func TestBreakdownZeroReference(t *testing.T) {
+	s := fakeSample("app", "swcc", 750)
+	b := NewBreakdown(s, 0)
+	if math.IsInf(b.Norm, 0) || math.IsNaN(b.Norm) || b.Norm != 0 {
+		t.Fatalf("zero reference: Norm = %f, want 0", b.Norm)
+	}
+	// A zero-cycle run against a zero reference must not yield NaN either.
+	z := fakeSample("app", "nocc", 0)
+	b = NewBreakdown(z, 0)
+	if math.IsNaN(b.Norm) || b.Norm != 0 {
+		t.Fatalf("zero/zero: Norm = %f, want 0", b.Norm)
+	}
+	// And the rendered bar must stay finite (empty), not explode.
+	if got := bar(b); got != "" {
+		t.Fatalf("zero/zero bar = %q, want empty", got)
+	}
+}
+
+func TestUtilizationMapping(t *testing.T) {
+	// The Fig. 8 mapping: core utilization = Busy + LockWait. A spinning
+	// core counts as utilized, exactly as NewBreakdown's Frac[0].
+	st := soc.TileStats{Busy: 600, LockWait: 200, IStall: 100, WriteStall: 100}
+	if got := Utilization(st); got != 0.8 {
+		t.Fatalf("Utilization = %f, want 0.8 (Busy+LockWait)/Total", got)
+	}
+	b := NewBreakdown(Sample{Stats: st, Cycles: 1000}, 1000)
+	if b.Frac[0] != Utilization(st) {
+		t.Fatalf("Utilization (%f) disagrees with Breakdown.Frac[0] (%f)", Utilization(st), b.Frac[0])
+	}
+	if got := Utilization(soc.TileStats{}); got != 0 {
+		t.Fatalf("empty stats: Utilization = %f, want 0", got)
+	}
+}
+
 func TestRenderFig8(t *testing.T) {
-	groups := map[string][]*workloads.Result{
-		"app": {fakeResult("app", "nocc", 1000), fakeResult("app", "swcc", 800)},
+	groups := map[string][]Sample{
+		"app": {fakeSample("app", "nocc", 1000), fakeSample("app", "swcc", 800)},
 	}
 	var buf bytes.Buffer
 	RenderFig8(&buf, groups, []string{"app"})
@@ -157,19 +192,20 @@ func TestBarLengthInvariant(t *testing.T) {
 
 func TestRenderExtended(t *testing.T) {
 	var buf bytes.Buffer
-	RenderExtended(&buf, []*workloads.Result{fakeResult("x", "dsm", 500)})
+	RenderExtended(&buf, []Sample{fakeSample("x", "dsm", 500)})
 	if !strings.Contains(buf.String(), "x (dsm)") {
 		t.Fatalf("extended table missing run label:\n%s", buf.String())
 	}
 }
 
 func TestSpeedup(t *testing.T) {
-	a := fakeResult("a", "nocc", 1000)
-	b := fakeResult("a", "swcc", 780)
-	if got := Speedup(a, b); got < 21.9 || got > 22.1 {
+	if got := Speedup(1000, 780); got < 21.9 || got > 22.1 {
 		t.Fatalf("speedup = %f, want 22", got)
 	}
-	if got := Speedup(a, a); got != 0 {
+	if got := Speedup(1000, 1000); got != 0 {
 		t.Fatalf("self speedup = %f, want 0", got)
+	}
+	if got := Speedup(0, 500); got != 0 {
+		t.Fatalf("zero-reference speedup = %f, want 0", got)
 	}
 }

@@ -88,6 +88,10 @@ type Row struct {
 	NoCMessages uint64 `json:"noc_messages"`
 	NoCBytes    uint64 `json:"noc_bytes"`
 	FlitHops    uint64 `json:"flit_hops"`
+	// The hierarchical split of FlitHops on cluster topologies (always
+	// emitted: on flat topologies local equals flit_hops and global is 0).
+	LocalFlitHops  uint64 `json:"local_flit_hops"`
+	GlobalFlitHops uint64 `json:"global_flit_hops"`
 
 	Busy            uint64 `json:"busy"`
 	IStall          uint64 `json:"istall"`
@@ -99,6 +103,12 @@ type Row struct {
 	CopyStall       uint64 `json:"copy_stall"`
 	Instrs          uint64 `json:"instrs"`
 	FlushInstrs     uint64 `json:"flush_instrs"`
+
+	// Service metrics, populated only for open-loop service workloads
+	// (requests completed, exact latency quantiles in cycles).
+	Requests   uint64 `json:"requests,omitempty"`
+	P50Latency uint64 `json:"p50_latency,omitempty"`
+	P99Latency uint64 `json:"p99_latency,omitempty"`
 
 	Err string `json:"err,omitempty"`
 
@@ -288,6 +298,8 @@ func runCell(spec *Spec, c Cell) (row Row) {
 	row.NoCMessages = res.NoCMessages
 	row.NoCBytes = res.NoCBytes
 	row.FlitHops = res.FlitHops
+	row.LocalFlitHops = res.LocalFlitHops
+	row.GlobalFlitHops = res.GlobalFlitHops
 	t := res.Total
 	row.Busy = uint64(t.Busy)
 	row.IStall = uint64(t.IStall)
@@ -299,6 +311,11 @@ func runCell(spec *Spec, c Cell) (row Row) {
 	row.CopyStall = uint64(t.CopyStall)
 	row.Instrs = t.Instrs
 	row.FlushInstrs = t.FlushInstrs
+	if res.Service != nil {
+		row.Requests = res.Service.Completed
+		row.P50Latency = res.Service.P50()
+		row.P99Latency = res.Service.P99()
+	}
 	row.Result = res
 	return row
 }
@@ -336,9 +353,10 @@ func (t *Table) WriteJSON(w io.Writer) error {
 // csvHeader is the column order of WriteCSV.
 var csvHeader = []string{
 	"app", "backend", "tiles", "topology", "cycles", "checksum",
-	"noc_messages", "noc_bytes", "flit_hops",
+	"noc_messages", "noc_bytes", "flit_hops", "local_flit_hops", "global_flit_hops",
 	"busy", "istall", "priv_read_stall", "shared_read_stall", "write_stall",
-	"flush_stall", "lock_wait", "copy_stall", "instrs", "flush_instrs", "err",
+	"flush_stall", "lock_wait", "copy_stall", "instrs", "flush_instrs",
+	"requests", "p50_latency", "p99_latency", "err",
 }
 
 // WriteCSV emits the table as CSV with a header row.
@@ -354,10 +372,12 @@ func (t *Table) WriteCSV(w io.Writer) error {
 			r.App, r.Backend, strconv.Itoa(r.Tiles), r.Topology,
 			u(r.Cycles, 10), u(uint64(r.Checksum), 10),
 			u(r.NoCMessages, 10), u(r.NoCBytes, 10), u(r.FlitHops, 10),
+			u(r.LocalFlitHops, 10), u(r.GlobalFlitHops, 10),
 			u(r.Busy, 10), u(r.IStall, 10), u(r.PrivReadStall, 10),
 			u(r.SharedReadStall, 10), u(r.WriteStall, 10), u(r.FlushStall, 10),
 			u(r.LockWait, 10), u(r.CopyStall, 10), u(r.Instrs, 10),
-			u(r.FlushInstrs, 10), r.Err,
+			u(r.FlushInstrs, 10),
+			u(r.Requests, 10), u(r.P50Latency, 10), u(r.P99Latency, 10), r.Err,
 		}
 		if err := cw.Write(rec); err != nil {
 			return err

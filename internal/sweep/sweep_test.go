@@ -248,6 +248,123 @@ func TestSweepFind(t *testing.T) {
 	}
 }
 
+// TestSweepHopSplitEmitted is the regression test for the dropped
+// hierarchical hop columns: PR 6's local/global flit-hop split reached
+// workloads.Result but sweep rows silently dropped it. Cluster cells must
+// emit a non-trivial split that sums to flit_hops, and both serialized
+// forms must carry the columns.
+func TestSweepHopSplitEmitted(t *testing.T) {
+	topo, err := noc.ParseTopology("cluster:4xring")
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := Spec{
+		Apps:     []string{"radiosity"},
+		Backends: []string{"cdsm"},
+		Tiles:    []int{16},
+		Topos:    []noc.Topology{topo},
+		Make: func(c Cell) (workloads.App, error) {
+			app, _ := workloads.Scaled(c.App, true)
+			return app, nil
+		},
+	}
+	table, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := table.Rows[0]
+	if r.LocalFlitHops == 0 || r.GlobalFlitHops == 0 {
+		t.Fatalf("cluster cell hop split not populated: local=%d global=%d", r.LocalFlitHops, r.GlobalFlitHops)
+	}
+	if r.LocalFlitHops+r.GlobalFlitHops != r.FlitHops {
+		t.Fatalf("hop split %d+%d != flit_hops %d", r.LocalFlitHops, r.GlobalFlitHops, r.FlitHops)
+	}
+	var js, cs bytes.Buffer
+	if err := table.WriteJSON(&js); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"local_flit_hops"`, `"global_flit_hops"`} {
+		if !strings.Contains(js.String(), want) {
+			t.Errorf("JSON missing %s:\n%s", want, js.String())
+		}
+	}
+	if err := table.WriteCSV(&cs); err != nil {
+		t.Fatal(err)
+	}
+	header := strings.SplitN(cs.String(), "\n", 2)[0]
+	for _, want := range []string{"local_flit_hops", "global_flit_hops"} {
+		if !strings.Contains(header, want) {
+			t.Errorf("CSV header missing %s: %s", want, header)
+		}
+	}
+}
+
+// serviceSpec is a compact service-workload grid at CI size.
+func serviceSpec(workers int) Spec {
+	return Spec{
+		Apps:     []string{"server", "kvstore", "stream"},
+		Backends: []string{"nocc", "dsm", "adaptive"},
+		Tiles:    []int{8},
+		Base:     smallBase(),
+		Make: func(c Cell) (workloads.App, error) {
+			app, _ := workloads.Scaled(c.App, true)
+			return app, nil
+		},
+		Workers: workers,
+	}
+}
+
+// TestSweepServiceColumns: service cells populate the request/latency
+// columns (kernel cells omit them), the quantiles are ordered, and the
+// whole service grid — latency columns included — stays byte-identical
+// across worker counts.
+func TestSweepServiceColumns(t *testing.T) {
+	seq, err := Run(serviceSpec(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range seq.Rows {
+		if r.Requests == 0 {
+			t.Fatalf("%s/%s: no requests recorded", r.App, r.Backend)
+		}
+		if r.P50Latency == 0 || r.P50Latency > r.P99Latency {
+			t.Fatalf("%s/%s: quantiles out of order: p50=%d p99=%d", r.App, r.Backend, r.P50Latency, r.P99Latency)
+		}
+		if r.Result.Service == nil || r.Result.Service.Completed != r.Result.Service.Offered {
+			t.Fatalf("%s/%s: service incomplete: %+v", r.App, r.Backend, r.Result.Service)
+		}
+	}
+	par, err := Run(serviceSpec(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var js, jp bytes.Buffer
+	if err := seq.WriteJSON(&js); err != nil {
+		t.Fatal(err)
+	}
+	if err := par.WriteJSON(&jp); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(js.Bytes(), jp.Bytes()) {
+		t.Fatal("service grid not byte-identical across worker counts")
+	}
+	if !strings.Contains(js.String(), `"p50_latency"`) || !strings.Contains(js.String(), `"p99_latency"`) {
+		t.Fatalf("JSON missing latency columns:\n%s", js.String())
+	}
+	// Kernel rows must omit the service columns.
+	kernel, err := Run(Spec{Apps: []string{"msgpass"}, Backends: []string{"dsm"}, Tiles: []int{4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var kb bytes.Buffer
+	if err := kernel.WriteJSON(&kb); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(kb.String(), `"p50_latency"`) {
+		t.Error("kernel row should omit service columns")
+	}
+}
+
 func TestEach(t *testing.T) {
 	for _, workers := range []int{0, 1, 3, 64} {
 		var sum int64

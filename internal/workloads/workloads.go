@@ -18,6 +18,7 @@ import (
 	"pmc/internal/rt"
 	"pmc/internal/sim"
 	"pmc/internal/soc"
+	"pmc/internal/stats"
 	"pmc/internal/trace"
 )
 
@@ -33,6 +34,15 @@ type App interface {
 	// Checksum returns a determinism witness computed from the final
 	// shared state.
 	Checksum(r *rt.Runtime) uint32
+}
+
+// ServiceApp is an App that runs open-loop service traffic and measures
+// it: Service returns the merged per-run service metrics (offered and
+// completed request counts, the exact latency histogram, the
+// per-interval time-series). Valid after the run completes.
+type ServiceApp interface {
+	App
+	Service() *stats.Service
 }
 
 // Result is one measured run.
@@ -53,6 +63,18 @@ type Result struct {
 	// every hop counts as local and GlobalFlitHops stays zero.
 	LocalFlitHops  uint64
 	GlobalFlitHops uint64
+	// Service holds the open-loop service metrics for ServiceApp
+	// workloads; nil for single-shot kernels.
+	Service *stats.Service
+}
+
+// Sample converts the result to the stats package's renderer input.
+func (r *Result) Sample() stats.Sample {
+	return stats.Sample{
+		Label:  fmt.Sprintf("%s (%s)", r.App, r.Backend),
+		Cycles: r.Cycles,
+		Stats:  r.Total,
+	}
 }
 
 // FlushOverheadPct returns the percentage of accounted cycles spent
@@ -62,21 +84,15 @@ type Result struct {
 // flush-triggered writebacks is accounted separately (FlushStall) and
 // folded into the write-stall bar when rendering Fig. 8.
 func (r *Result) FlushOverheadPct() float64 {
-	tot := float64(r.Total.Total())
-	if tot == 0 {
-		return 0
-	}
-	return 100 * float64(r.Total.FlushInstrs) / tot
+	return stats.FlushOverheadPct(r.Total)
 }
 
-// Utilization returns busy cycles as a fraction of accounted cycles (the
-// paper's "core utilization").
+// Utilization returns the paper's "core utilization" fraction of
+// accounted cycles. It delegates to the stats package's Fig. 8 mapping
+// (Busy + LockWait — a spinning core executes poll instructions), so the
+// number printed as "utilization" always agrees with the Fig. 8 bars.
 func (r *Result) Utilization() float64 {
-	tot := float64(r.Total.Total())
-	if tot == 0 {
-		return 0
-	}
-	return float64(r.Total.Busy) / tot
+	return stats.Utilization(r.Total)
 }
 
 // Run executes app on a fresh system with the named backend and returns the
@@ -112,12 +128,18 @@ func ByName(name string) (App, bool) {
 		return DefaultBulkCopy(), true
 	case "bulkcopy-word":
 		return DefaultBulkCopyWord(), true
+	case "server":
+		return DefaultServer(), true
+	case "kvstore":
+		return DefaultKVStore(), true
+	case "stream":
+		return DefaultStream(), true
 	}
 	return nil, false
 }
 
 // Names lists the workloads ByName accepts.
-var Names = []string{"msgpass", "radiosity", "raytrace", "volrend", "mfifo", "motionest", "stencil", "reacquire", "pipeline", "bulkcopy", "bulkcopy-word"}
+var Names = []string{"msgpass", "radiosity", "raytrace", "volrend", "mfifo", "motionest", "stencil", "reacquire", "pipeline", "bulkcopy", "bulkcopy-word", "server", "kvstore", "stream"}
 
 // Scaled is ByName with an optional CI-sized ("small") configuration: the
 // same shrunken parameters the experiment suite uses for quick runs. With
@@ -149,6 +171,12 @@ func Scaled(name string, small bool) (App, bool) {
 		if a.Chunk > 1 {
 			a.Chunk = 32
 		}
+	case *Server:
+		a.Requests = 24
+	case *KVStore:
+		a.Ops = 24
+	case *Stream:
+		a.Frames = 16
 	}
 	return app, true
 }
@@ -217,6 +245,9 @@ func run(app App, cfg soc.Config, backendName string, pre func(*rt.Runtime)) (*R
 	}
 	for _, t := range sys.Tiles {
 		res.PerTile = append(res.PerTile, t.Stats)
+	}
+	if sa, ok := app.(ServiceApp); ok {
+		res.Service = sa.Service()
 	}
 	return res, nil
 }

@@ -1,6 +1,7 @@
 package workloads
 
 import (
+	"reflect"
 	"testing"
 
 	"pmc/internal/rt"
@@ -32,7 +33,13 @@ func smallApps() []App {
 	st.Iters = 4
 	pipe := DefaultPipeline()
 	pipe.Frames = 10
-	return []App{DefaultMsgPass(), rad, ray, vol, fifo, me, st, pipe}
+	srv := DefaultServer()
+	srv.Requests = 24
+	kv := DefaultKVStore()
+	kv.Ops = 24
+	strm := DefaultStream()
+	strm.Frames = 16
+	return []App{DefaultMsgPass(), rad, ray, vol, fifo, me, st, pipe, srv, kv, strm}
 }
 
 // TestAllAppsAllBackends is the portability matrix: every workload runs
@@ -92,6 +99,12 @@ func TestQueueDifferential(t *testing.T) {
 							app.Name(), backend, want.Cycles, want.Checksum, want.FlitHops,
 							res.Cycles, res.Checksum, res.FlitHops)
 					}
+					// Service workloads: the full latency histogram and
+					// time-series must also be identical across queue kinds.
+					if !reflect.DeepEqual(res.Service, want.Service) {
+						t.Errorf("%s on %s: service metrics differ between queue kinds:\nheap:  %+v\nwheel: %+v",
+							app.Name(), backend, want.Service, res.Service)
+					}
 				}
 			}
 		})
@@ -127,6 +140,15 @@ func freshLike(app App) App {
 		cp := *a
 		return &cp
 	case *Pipeline:
+		cp := *a
+		return &cp
+	case *Server:
+		cp := *a
+		return &cp
+	case *KVStore:
+		cp := *a
+		return &cp
+	case *Stream:
 		cp := *a
 		return &cp
 	}

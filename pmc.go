@@ -332,6 +332,14 @@ type (
 	App = workloads.App
 	// Result is one measured run.
 	Result = workloads.Result
+	// ServiceMetrics are the open-loop measurements of a service workload
+	// run (Result.Service): offered/completed requests, the exact latency
+	// histogram, and the per-interval time-series.
+	ServiceMetrics = stats.Service
+	// LatencyHist is the exact deterministic latency histogram backing
+	// ServiceMetrics: fixed log-spaced buckets, integer counts, quantile
+	// extraction with a bounded relative error.
+	LatencyHist = stats.Hist
 	// Experiment is one table/figure reproduction.
 	Experiment = exp.Experiment
 	// ExpOptions selects experiment scale.
@@ -350,7 +358,17 @@ var (
 	// bulk-ablation experiment (block-granular; set Chunk to 1 for the
 	// word-granular twin).
 	NewBulkCopy = workloads.DefaultBulkCopy
+	// Open-loop service scenarios: deterministic Poisson arrivals at a
+	// configurable offered load, measured by Result.Service.
+	NewServer  = workloads.DefaultServer
+	NewKVStore = workloads.DefaultKVStore
+	NewStream  = workloads.DefaultStream
 )
+
+// SetOfferedLoad overrides the offered load (requests per kilocycle) on a
+// service workload instance; it reports false for closed-loop workloads,
+// which have no load knob.
+func SetOfferedLoad(app App, load float64) bool { return workloads.SetLoad(app, load) }
 
 // RunApp executes a workload on a fresh system with the named backend.
 func RunApp(app App, cfg Config, backend string) (*Result, error) {
@@ -484,8 +502,14 @@ func RunAllExperiments(w io.Writer, o ExpOptions) error { return exp.RunAll(w, o
 
 // RenderFig8 prints the stacked breakdown chart for grouped results.
 func RenderFig8(w io.Writer, groups map[string][]*Result, order []string) {
-	stats.RenderFig8(w, groups, order)
+	samples := make(map[string][]stats.Sample, len(groups))
+	for app, rs := range groups {
+		for _, r := range rs {
+			samples[app] = append(samples[app], r.Sample())
+		}
+	}
+	stats.RenderFig8(w, samples, order)
 }
 
 // Speedup returns b's execution-time improvement over a in percent.
-func Speedup(a, b *Result) float64 { return stats.Speedup(a, b) }
+func Speedup(a, b *Result) float64 { return stats.Speedup(a.Cycles, b.Cycles) }
