@@ -7,6 +7,7 @@
 //
 //	pmcbench -list                          list suites and their entries
 //	pmcbench -suite ci -reps 3 -json BENCH.json
+//	pmcbench -suite ci -cache .pmcd-cache -cachekey "$SRC_HASH" -json BENCH.json
 //	pmcbench -suite full -cpuprofile cpu.pprof -memprofile mem.pprof
 //	pmcbench -compare BENCH_baseline.json BENCH.json -threshold 10%
 //
@@ -37,6 +38,8 @@ func main() {
 		quiet      = flag.Bool("q", false, "suppress per-entry progress lines")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the suite run to this file")
 		memProfile = flag.String("memprofile", "", "write an allocation profile of the suite run to this file")
+		cacheDir   = flag.String("cache", "", "content-addressed measurement cache directory; unchanged entries are answered without re-simulation")
+		cacheKey   = flag.String("cachekey", "", "cache-key salt (default: the build's code version); CI passes a source-content hash")
 
 		compare   = flag.String("compare", "", "baseline BENCH.json to compare against; the candidate report is the positional argument")
 		threshold = flag.String("threshold", "10%", `with -compare: relative host-metric noise tolerance ("10%" or "0.1")`)
@@ -51,6 +54,10 @@ func main() {
 		positional = append(positional, args[0])
 		flag.CommandLine.Parse(args[1:])
 		args = flag.CommandLine.Args()
+	}
+
+	if *cacheKey != "" && *cacheDir == "" {
+		fail(usagef("-cachekey requires -cache"))
 	}
 
 	switch {
@@ -81,7 +88,7 @@ func main() {
 		return
 	case *suite != "":
 		rejectPositional(positional)
-		if err := runSuite(*suite, *reps, *jsonOut, *cpuProfile, *memProfile, *quiet); err != nil {
+		if err := runSuite(*suite, *reps, *jsonOut, *cpuProfile, *memProfile, *cacheDir, *cacheKey, *quiet); err != nil {
 			fail(err)
 		}
 		return
@@ -106,7 +113,7 @@ func usagef(format string, args ...any) error { return cli.Usagef(format, args..
 
 func fail(err error) { cli.Fail("pmcbench", err) }
 
-func runSuite(name string, reps int, jsonOut, cpuProfile, memProfile string, quiet bool) error {
+func runSuite(name string, reps int, jsonOut, cpuProfile, memProfile, cacheDir, cacheKey string, quiet bool) error {
 	spec, err := pmc.BenchSuite(name)
 	if err != nil {
 		return cli.UsageError{Err: err}
@@ -126,9 +133,23 @@ func runSuite(name string, reps int, jsonOut, cpuProfile, memProfile string, qui
 		}
 		defer pprof.StopCPUProfile()
 	}
-	report, err := pmc.BenchRun(spec)
-	if err != nil {
-		return err
+	var report *pmc.BenchReport
+	if cacheDir != "" {
+		store, err := pmc.OpenPmcdStore(cacheDir, 0)
+		if err != nil {
+			return err
+		}
+		var stats pmc.BenchCacheStats
+		report, stats, err = pmc.BenchRunCached(spec, store, cacheKey)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "bench cache: %d hits, %d misses\n", stats.Hits, stats.Misses)
+	} else {
+		report, err = pmc.BenchRun(spec)
+		if err != nil {
+			return err
+		}
 	}
 	if memProfile != "" {
 		f, err := os.Create(memProfile)

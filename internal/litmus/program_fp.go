@@ -81,6 +81,25 @@ func Fingerprint(p Program) string {
 	return fmt.Sprintf("%016x%016x", h.hi, h.lo)
 }
 
+// ExploreFingerprint extends the program fingerprint with the engine
+// configuration that reaches reported results: Memoize changes what States
+// counts (tree nodes vs distinct canonical states) and MaxStates changes
+// whether a budget abort is possible, so explorations differing in either
+// are distinct cacheable computations. Workers is deliberately excluded —
+// every worker count produces identical results (the engine's differential
+// guarantee) — so a sequential and a parallel run share one cache entry.
+func ExploreFingerprint(p Program, memoize bool, maxStates int) string {
+	h := newFpHash()
+	h.mixString(Fingerprint(p))
+	m := 0
+	if memoize {
+		m = 1
+	}
+	h.mixInt(m)
+	h.mixInt(maxStates)
+	return fmt.Sprintf("%016x%016x", h.hi, h.lo)
+}
+
 // InstrCount returns the total number of instructions across all threads —
 // the size metric the fuzzer's shrinker minimizes.
 func InstrCount(p Program) int {

@@ -101,6 +101,17 @@ type Spec struct {
 	Entries []Entry
 	// Progress, if non-nil, receives one line per completed entry.
 	Progress io.Writer
+	// Lookup, if non-nil, is consulted before measuring an entry: a hit
+	// serves the prior measurement (marked Cached) and skips the entry's
+	// simulation entirely. The hit's exact metrics are guaranteed
+	// identical to what a fresh run would produce — that is the
+	// determinism property the whole cache rests on — while its host
+	// timings are from the run that populated the cache. internal/pmcd
+	// provides a content-addressed implementation (BenchCached).
+	Lookup func(Entry) (*Measurement, bool)
+	// Store, if non-nil, receives every freshly measured entry (cache
+	// population; never called for Lookup hits).
+	Store func(Entry, *Measurement)
 }
 
 // Metric is one named measurement of an entry. For exact metrics Value is
@@ -119,6 +130,11 @@ type Measurement struct {
 	Name    string   `json:"name"`
 	Reps    int      `json:"reps"`
 	Metrics []Metric `json:"metrics"`
+	// Cached marks a measurement served from a result cache (Spec.Lookup)
+	// instead of fresh simulation. It is informational — Compare matches
+	// metrics by name and value regardless — but keeps cache effectiveness
+	// visible in the serialized report.
+	Cached bool `json:"cached,omitempty"`
 }
 
 // Metric returns the named metric, or nil.
@@ -202,9 +218,24 @@ func Run(spec Spec) (*Report, error) {
 		NumCPU:    runtime.NumCPU(),
 	}
 	for i := range spec.Entries {
-		m, err := measure(spec.Entries[i], reps)
+		e := spec.Entries[i]
+		if spec.Lookup != nil {
+			if m, ok := spec.Lookup(e); ok {
+				hit := *m
+				hit.Cached = true
+				rep.Entries = append(rep.Entries, hit)
+				if spec.Progress != nil {
+					fmt.Fprintf(spec.Progress, "%-40s %12s  (cached)\n", hit.Name, "-")
+				}
+				continue
+			}
+		}
+		m, err := measure(e, reps)
 		if err != nil {
 			return nil, err
+		}
+		if spec.Store != nil {
+			spec.Store(e, m)
 		}
 		rep.Entries = append(rep.Entries, *m)
 		if spec.Progress != nil {

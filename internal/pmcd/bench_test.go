@@ -1,0 +1,92 @@
+package pmcd
+
+import (
+	"testing"
+
+	"pmc/internal/perf"
+)
+
+func benchEntry(name string) perf.Entry {
+	return perf.Entry{Name: name, Sim: &perf.SimBench{
+		App: "mfifo", Backend: "dsm", Tiles: 4, Topo: "ring", Small: true,
+	}}
+}
+
+func TestBenchCacheKeyChanges(t *testing.T) {
+	base, err := BenchCacheKey(benchEntry("e"), 1, "cv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, other := range map[string]func() (string, error){
+		"entry":    func() (string, error) { return BenchCacheKey(benchEntry("e2"), 1, "cv") },
+		"reps":     func() (string, error) { return BenchCacheKey(benchEntry("e"), 2, "cv") },
+		"cacheKey": func() (string, error) { return BenchCacheKey(benchEntry("e"), 1, "cv2") },
+	} {
+		k, err := other()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if k == base {
+			t.Errorf("changing %s did not change the cache key", name)
+		}
+	}
+}
+
+// BenchCached must answer unchanged entries from a persisted store with
+// exact metrics identical to the fresh run — the property the CI bench
+// job's actions/cache round-trip relies on.
+func TestBenchCachedRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	spec := perf.Spec{Suite: "t", Reps: 1, Entries: []perf.Entry{benchEntry("bench/mfifo")}}
+
+	s1, err := Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep1, st1, err := BenchCached(spec, s1, "cv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st1.Hits != 0 || st1.Misses != 1 {
+		t.Fatalf("cold run counted %+v", st1)
+	}
+	if rep1.Entries[0].Cached {
+		t.Fatal("cold measurement claims to be cached")
+	}
+
+	// A fresh store over the same directory is the next CI run.
+	s2, err := Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep2, st2, err := BenchCached(spec, s2, "cv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.Hits != 1 || st2.Misses != 0 {
+		t.Fatalf("warm run counted %+v", st2)
+	}
+	if !rep2.Entries[0].Cached {
+		t.Fatal("warm measurement not marked cached")
+	}
+	m1, m2 := rep1.Entries[0], rep2.Entries[0]
+	for _, m := range m1.Metrics {
+		if !m.Exact {
+			continue
+		}
+		got := m2.Metric(m.Name)
+		if got == nil || got.Value != m.Value {
+			t.Errorf("exact metric %s drifted through the cache: %v vs %v", m.Name, m.Value, got)
+		}
+	}
+
+	// A different cache key (new code version) misses: nothing measured
+	// by old code is ever served for new code.
+	rep3, st3, err := BenchCached(spec, s2, "cv2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st3.Hits != 0 || st3.Misses != 1 || rep3.Entries[0].Cached {
+		t.Fatalf("new cache key reused old measurements: %+v", st3)
+	}
+}

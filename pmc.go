@@ -50,6 +50,7 @@ import (
 	"pmc/internal/litmus"
 	"pmc/internal/noc"
 	"pmc/internal/perf"
+	"pmc/internal/pmcd"
 	"pmc/internal/rt"
 	"pmc/internal/sim"
 	"pmc/internal/soc"
@@ -146,6 +147,15 @@ func LitmusWriteBlock(loc string, val Value) LitmusInstr { return litmus.WriteBl
 // LitmusFingerprint returns the canonical fingerprint of a program,
 // invariant under renaming of the program, its locations and registers.
 func LitmusFingerprint(p LitmusProgram) string { return litmus.Fingerprint(p) }
+
+// LitmusExploreFingerprint extends the program fingerprint with the
+// engine configuration that reaches reported results (memoization, state
+// budget); the worker count is excluded because every worker count
+// produces identical results. It is the cache identity pmcd uses for
+// exploration jobs.
+func LitmusExploreFingerprint(p LitmusProgram, memoize bool, maxStates int) string {
+	return litmus.ExploreFingerprint(p, memoize, maxStates)
+}
 
 // ---- Conformance and fuzzing ----
 
@@ -430,6 +440,12 @@ func ClusterTopo(local int, global string) (NoCTopology, error) {
 // and rows are merged by grid index.
 func Sweep(spec SweepSpec) (*SweepTable, error) { return sweep.Run(spec) }
 
+// SweepSpecHash returns the stable content hash of a declarative sweep
+// grid (defaults expanded, so equivalent spellings collide); specs that
+// carry code (Make or Configure hooks) are not content-addressable and
+// return an error.
+func SweepSpecHash(spec SweepSpec) (string, error) { return spec.Hash() }
+
 // ParseTopology converts "ring", "mesh" or "cluster:<local>x<global>" to a
 // NoCTopology.
 func ParseTopology(s string) (NoCTopology, error) { return noc.ParseTopology(s) }
@@ -488,6 +504,76 @@ func BenchLoadReport(path string) (*BenchReport, error) { return perf.LoadReport
 
 // BenchParseThreshold accepts "10%" or "0.1" forms.
 func BenchParseThreshold(s string) (float64, error) { return perf.ParseThreshold(s) }
+
+// ---- Serving results (pmcd) ----
+
+type (
+	// PmcdConfig configures the content-addressed simulation service:
+	// worker-pool size, job-queue depth, the two-tier result store, and
+	// the fingerprint code-version component.
+	PmcdConfig = pmcd.Config
+	// PmcdServer is the long-running HTTP/JSON job service over the
+	// sweep/litmus/fuzz/bench engines.
+	PmcdServer = pmcd.Server
+	// PmcdClient is the thin HTTP client of the job service.
+	PmcdClient = pmcd.Client
+	// PmcdJobSpec is a job submission: exactly one kind set.
+	PmcdJobSpec = pmcd.JobSpec
+	// PmcdSweepJob declares a sweep-grid job.
+	PmcdSweepJob = pmcd.SweepJob
+	// PmcdLitmusJob declares an exhaustive litmus exploration job.
+	PmcdLitmusJob = pmcd.LitmusJob
+	// PmcdFuzzJob declares a seeded differential fuzz campaign job.
+	PmcdFuzzJob = pmcd.FuzzJob
+	// PmcdBenchJob declares a benchmark-entry job (exact metrics only).
+	PmcdBenchJob = pmcd.BenchJob
+	// PmcdJobStatus is the externally visible state of a job.
+	PmcdJobStatus = pmcd.JobStatus
+	// PmcdStats is the service-wide counter snapshot.
+	PmcdStats = pmcd.Stats
+	// PmcdStore is the two-tier (memory LRU over content-addressed disk)
+	// result store.
+	PmcdStore = pmcd.Store
+	// PmcdStoreStats are the store's hit/miss counters.
+	PmcdStoreStats = pmcd.StoreStats
+	// BenchCacheStats counts cache effectiveness of a cache-backed
+	// benchmark run.
+	BenchCacheStats = pmcd.BenchCacheStats
+)
+
+// NewPmcdServer assembles a job service (opening its result store) and
+// starts the worker pool; Close it to drain.
+func NewPmcdServer(cfg PmcdConfig) (*PmcdServer, error) { return pmcd.New(cfg) }
+
+// NewPmcdClient returns a client for the job service at base
+// (e.g. "http://localhost:8433").
+func NewPmcdClient(base string) *PmcdClient { return pmcd.NewClient(base) }
+
+// PmcdCodeVersion returns the build's code-version fingerprint component:
+// the VCS revision stamp, or "dev" without one.
+func PmcdCodeVersion() string { return pmcd.CodeVersion() }
+
+// PmcdFingerprint returns the content address of a job's result — the
+// hex SHA-256 over the canonical (default-expanded, naming-invariant)
+// job spec and the code version.
+func PmcdFingerprint(spec PmcdJobSpec, codeVersion string) (string, error) {
+	return pmcd.Fingerprint(spec, codeVersion)
+}
+
+// OpenPmcdStore opens a result store over dir ("" = memory-only) with an
+// in-memory LRU tier of memEntries results (0 = 128).
+func OpenPmcdStore(dir string, memEntries int) (*PmcdStore, error) {
+	return pmcd.Open(dir, memEntries)
+}
+
+// BenchRunCached is BenchRun with a content-addressed result cache:
+// entries whose (spec, reps, cacheKey) address is stored are served from
+// cache — exact metrics identical to a fresh run by determinism — and
+// fresh measurements populate the store. cacheKey defaults to
+// PmcdCodeVersion(); CI passes a source-content hash.
+func BenchRunCached(spec BenchSpec, store *PmcdStore, cacheKey string) (*BenchReport, BenchCacheStats, error) {
+	return pmcd.BenchCached(spec, store, cacheKey)
+}
 
 // Experiments returns every registered table/figure experiment.
 func Experiments() []Experiment { return exp.All() }
