@@ -16,6 +16,13 @@
 //	pmcd submit [-addr URL] [-wait] [-out FILE] -spec FILE    raw JobSpec JSON ("-" = stdin)
 //	pmcd get    [-addr URL] (-job ID | -fp FINGERPRINT) [-out FILE]
 //	pmcd stats  [-addr URL]
+//	pmcd gc     -cache DIR [-maxage 168h]
+//
+// gc ages out the content-addressed disk store in place (no server
+// needed): bodies last written longer ago than -maxage are atomically
+// deleted and a stats line is printed. Because keys commit to the full
+// computation, purged results are never wrong to recompute — GC is
+// purely a disk-capacity bound for long-lived caches.
 //
 // submit prints the job's terminal status line to stderr
 // ("job j1 done cached=true ..."), and with -wait writes the result body
@@ -60,6 +67,8 @@ func main() {
 		err = cmdGet(os.Args[2:])
 	case "stats":
 		err = cmdStats(os.Args[2:])
+	case "gc":
+		err = cmdGC(os.Args[2:])
 	case "-h", "-help", "--help", "help":
 		usage()
 		return
@@ -83,6 +92,7 @@ func usage() {
   pmcd submit [-addr URL] [-wait] [-out FILE] -sweep apps | -litmus prog | -fuzz -seed N -n N | -spec FILE
   pmcd get    [-addr URL] (-job ID | -fp FP) [-out FILE]
   pmcd stats  [-addr URL]
+  pmcd gc     -cache DIR [-maxage 168h]
 `)
 }
 
@@ -290,6 +300,36 @@ func cmdStats(args []string) error {
 	fmt.Printf("store         %d mem hits, %d disk hits, %d misses, %d entries in memory\n",
 		st.Store.MemHits, st.Store.DiskHits, st.Store.Misses, st.Store.MemEntries)
 	fmt.Printf("pool          %d workers, %d queued\n", st.Workers, st.QueueDepth)
+	return nil
+}
+
+// cmdGC ages out a disk store in place. It runs against the directory,
+// not the server: the CI cache-restore step and a developer pruning
+// ~/.cache have no server running, and a concurrently serving pmcd
+// tolerates the deletes (content addressing makes them safe — at worst
+// a just-purged body is recomputed).
+func cmdGC(args []string) error {
+	fs := flag.NewFlagSet("pmcd gc", flag.ExitOnError)
+	var (
+		cacheDir = fs.String("cache", "", "content-addressed disk store directory")
+		maxAge   = fs.Duration("maxage", 7*24*time.Hour, "purge results last written longer ago than this")
+	)
+	fs.Parse(args)
+	if *cacheDir == "" {
+		return cli.Usagef("gc needs -cache DIR")
+	}
+	if *maxAge <= 0 {
+		return cli.Usagef("bad -maxage %v: must be positive", *maxAge)
+	}
+	store, err := pmc.OpenPmcdStore(*cacheDir, 0)
+	if err != nil {
+		return err
+	}
+	st, err := store.GC(*maxAge)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("gc %s: %s (maxage %v)\n", *cacheDir, st, *maxAge)
 	return nil
 }
 

@@ -9,6 +9,14 @@
 //	pmclitmus -table1            print the ordering-rule table
 //	pmclitmus -prog sb-drf -workers 8
 //	pmclitmus -prog sb-drf -workers 1 -memoize=false   (reference engine)
+//	pmclitmus -prog iriw-sym3 -symmetry -stats         (orbit-collapsed states)
+//
+// Compositional spec checking — drive a backend against its declarative
+// ordering spec at fixed interface scale (cost independent of -platform):
+//
+//	pmclitmus -spec all
+//	pmclitmus -spec swcc -platform 1024
+//	pmclitmus -spec swcc -fault release-without-flush   (must fail)
 //
 // Differential fuzzing — generate seeded random annotated programs,
 // explore each under the model, execute on every backend, and shrink any
@@ -42,6 +50,7 @@ func fail(err error) { cli.Fail("pmclitmus", err) }
 type engineOpts struct {
 	workers   int
 	memoize   bool
+	symmetry  bool
 	maxStates int
 	stats     bool
 }
@@ -50,6 +59,7 @@ func explore(p pmc.LitmusProgram, o engineOpts) error {
 	x := pmc.NewLitmusExplorer(p)
 	x.Workers = o.workers
 	x.Memoize = o.memoize
+	x.Symmetry = o.symmetry
 	if o.maxStates > 0 {
 		x.MaxStates = o.maxStates
 	}
@@ -65,7 +75,7 @@ func explore(p pmc.LitmusProgram, o engineOpts) error {
 	return nil
 }
 
-func runFuzz(seed int64, n int, mode, backends, fault string, shrink bool, runs, workers, maxStates, maxBlock int) error {
+func runFuzz(seed int64, n int, mode, backends, fault string, shrink, specCheck bool, runs, workers, maxStates, maxBlock int) error {
 	m, err := pmc.ParseFuzzMode(mode)
 	if err != nil {
 		return usagef("bad -mode: %v", err)
@@ -80,6 +90,7 @@ func runFuzz(seed int64, n int, mode, backends, fault string, shrink bool, runs,
 		Runs:      runs,
 		Workers:   workers,
 		Shrink:    shrink,
+		SpecCheck: specCheck,
 		MaxStates: maxStates,
 		Progress:  os.Stderr,
 	}
@@ -117,7 +128,51 @@ func runFuzz(seed int64, n int, mode, backends, fault string, shrink bool, runs,
 	}
 	fmt.Print(sum)
 	if !sum.Ok() {
-		return fmt.Errorf("campaign found %d violations, %d run errors", len(sum.Violations), len(sum.Errors))
+		return fmt.Errorf("campaign found %d violations, %d run errors, %d spec divergences",
+			len(sum.Violations), len(sum.Errors), len(sum.SpecDivergences))
+	}
+	return nil
+}
+
+// runSpec checks backends against their declarative ordering specs at
+// interface scale; with a fault injected, a passing check is the failure.
+func runSpec(sel, fault string, runs, platform int) error {
+	fs, err := pmc.ParseFaultSet(fault)
+	if err != nil {
+		return usagef("bad -fault: %v", err)
+	}
+	names := []string{sel}
+	if sel == "all" {
+		names = pmc.BackendNames()
+	}
+	failed := 0
+	for _, name := range names {
+		s, err := pmc.SpecForBackend(name)
+		if err != nil {
+			return usagef(`bad -spec %q: %v (or "all")`, sel, err)
+		}
+		opt := pmc.SpecCheckOptions{Runs: runs}
+		if fs.Enabled() {
+			name := name
+			opt.Backend = func() (pmc.Backend, error) {
+				b, err := pmc.BackendByName(name)
+				if err != nil {
+					return nil, err
+				}
+				return pmc.InjectFaults(b, fs), nil
+			}
+		}
+		r, err := pmc.SpecCheckBackend(s, pmc.SpecPlatform{Tiles: platform}, opt)
+		if err != nil {
+			return err
+		}
+		fmt.Println(r)
+		if !r.Ok() {
+			failed++
+		}
+	}
+	if failed > 0 {
+		return fmt.Errorf("%d of %d backends diverged from their specs", failed, len(names))
 	}
 	return nil
 }
@@ -130,25 +185,35 @@ func main() {
 		table1    = flag.Bool("table1", false, "print the Table I ordering rules")
 		workers   = flag.Int("workers", 0, "exploration goroutines (0 = GOMAXPROCS, 1 = sequential)")
 		memoize   = flag.Bool("memoize", true, "deduplicate canonical states (disable for the reference tree engine)")
+		symmetry  = flag.Bool("symmetry", false, "collapse thread/location-symmetric states (outcomes identical; requires -memoize)")
 		maxStates = flag.Int("maxstates", 0, "state budget (0 = default)")
 		stats     = flag.Bool("stats", false, "also print explored-state counts")
 
-		doFuzz   = flag.Bool("fuzz", false, "run a seeded differential fuzzing campaign")
-		seed     = flag.Int64("seed", 1, "fuzz: base seed (program i uses seed+i)")
-		n        = flag.Int("n", 200, "fuzz: number of programs to generate")
-		shrink   = flag.Bool("shrink", false, "fuzz: shrink violations to minimal counterexamples")
-		mode     = flag.String("mode", "mixed", "fuzz: generation mode (drf, racy, mixed)")
-		backends = flag.String("fuzzbackends", "", "fuzz: comma-separated backends (default: nocc,swcc,dsm,spm)")
-		fault    = flag.String("fault", "", "fuzz: inject a protocol fault (e.g. release-without-flush) into every backend")
-		runs     = flag.Int("runs", 3, "fuzz: perturbed simulator runs per program and backend")
-		maxBlock = flag.Int("maxblock", 4, "fuzz: max words of multi-word locations exercised by block reads/writes (1 = word-only)")
+		doSpec   = flag.String("spec", "", `check a backend against its declarative ordering spec ("all" or a backend name); composes with -fault and -runs`)
+		platform = flag.Int("platform", 32, "spec: deployment tile count being certified (the check's cost is independent of it)")
+
+		doFuzz    = flag.Bool("fuzz", false, "run a seeded differential fuzzing campaign")
+		seed      = flag.Int64("seed", 1, "fuzz: base seed (program i uses seed+i)")
+		n         = flag.Int("n", 200, "fuzz: number of programs to generate")
+		shrink    = flag.Bool("shrink", false, "fuzz: shrink violations to minimal counterexamples")
+		mode      = flag.String("mode", "mixed", "fuzz: generation mode (drf, racy, mixed)")
+		backends  = flag.String("fuzzbackends", "", "fuzz: comma-separated backends (default: nocc,swcc,dsm,spm)")
+		fault     = flag.String("fault", "", "fuzz: inject a protocol fault (e.g. release-without-flush) into every backend")
+		runs      = flag.Int("runs", 3, "fuzz/spec: perturbed simulator runs per program and backend")
+		specCheck = flag.Bool("speccheck", false, "fuzz: also attribute each pair's recorded trace to the backend's ordering spec")
+		maxBlock  = flag.Int("maxblock", 4, "fuzz: max words of multi-word locations exercised by block reads/writes (1 = word-only)")
 	)
 	flag.Parse()
-	opts := engineOpts{workers: *workers, memoize: *memoize, maxStates: *maxStates, stats: *stats}
+	opts := engineOpts{workers: *workers, memoize: *memoize, symmetry: *symmetry, maxStates: *maxStates, stats: *stats}
 
 	switch {
+	case *doSpec != "":
+		if err := runSpec(*doSpec, *fault, *runs, *platform); err != nil {
+			fail(err)
+		}
+		return
 	case *doFuzz:
-		if err := runFuzz(*seed, *n, *mode, *backends, *fault, *shrink, *runs, *workers, *maxStates, *maxBlock); err != nil {
+		if err := runFuzz(*seed, *n, *mode, *backends, *fault, *shrink, *specCheck, *runs, *workers, *maxStates, *maxBlock); err != nil {
 			fail(err)
 		}
 		return

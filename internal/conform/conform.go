@@ -21,6 +21,7 @@ import (
 	"sort"
 	"strings"
 
+	"pmc/internal/core"
 	"pmc/internal/litmus"
 	"pmc/internal/rt"
 	"pmc/internal/sim"
@@ -86,6 +87,11 @@ type Options struct {
 	// MaxCycles bounds each simulated run; 0 means a generous default.
 	// Fuzzing loops lower it so livelocking candidates fail fast.
 	MaxCycles sim.Time
+	// Base, if non-nil, is the system configuration template for every
+	// run; Tiles and MaxCycles above still override its fields. The spec
+	// checker uses it to pin a clustered interface topology without
+	// growing the simulated system.
+	Base *soc.Config
 	// Backend, if non-nil, constructs the backend instance for each run
 	// instead of rt.ByName — the hook fault-injection harnesses use to
 	// check a deliberately broken protocol against the model.
@@ -236,7 +242,28 @@ func EffectiveProgram(p litmus.Program) litmus.Program {
 // EffectiveProgram — every write already sits inside an explicit scope)
 // and returns its canonical outcome string.
 func execute(prog litmus.Program, backend string, opt Options, seed uint32) (string, error) {
+	outcome, _, err := run(prog, backend, opt, seed, false)
+	return outcome, err
+}
+
+// ExecuteRecorded runs one perturbed instance of an *effective* program
+// (callers pass EffectiveProgram output, exactly like CheckOpts does
+// internally) with a model recorder attached, returning the canonical
+// outcome and the recorder-lowered per-word execution. The recorder
+// verifies every read against the model as the run unfolds; its first
+// violation surfaces as the returned error, with the partial execution
+// still attached for diagnosis. The spec checker walks the execution's
+// edges to attribute every committed ordering to a declared obligation.
+func ExecuteRecorded(prog litmus.Program, backend string, opt Options, seed uint32) (string, *core.Execution, error) {
+	return run(prog, backend, opt, seed, true)
+}
+
+// run is the shared body of execute and ExecuteRecorded.
+func run(prog litmus.Program, backend string, opt Options, seed uint32, record bool) (string, *core.Execution, error) {
 	cfg := soc.DefaultConfig()
+	if opt.Base != nil {
+		cfg = *opt.Base
+	}
 	cfg.Tiles = opt.Tiles
 	cfg.MaxCycles = opt.MaxCycles
 	if cfg.MaxCycles == 0 {
@@ -244,7 +271,7 @@ func execute(prog litmus.Program, backend string, opt Options, seed uint32) (str
 	}
 	sys, err := soc.New(cfg)
 	if err != nil {
-		return "", err
+		return "", nil, err
 	}
 	mixed := backend == MixedBackend
 	var b rt.Backend
@@ -259,9 +286,14 @@ func execute(prog litmus.Program, backend string, opt Options, seed uint32) (str
 		b, err = rt.ByName(backend)
 	}
 	if err != nil {
-		return "", err
+		return "", nil, err
 	}
 	r := rt.New(sys, b)
+	var rec *rt.Recorder
+	if record {
+		// Attached before allocation so every object is recorded.
+		rec = rt.NewRecorder(r)
+	}
 	objs := make(map[string]*rt.Object, len(prog.Locs))
 	for _, name := range prog.Locs {
 		if pb := prog.Placement[name]; mixed && pb != "" {
@@ -361,14 +393,21 @@ func execute(prog litmus.Program, backend string, opt Options, seed uint32) (str
 		})
 	}
 	if err := r.Run(); err != nil {
-		return "", err
+		return "", nil, err
 	}
 	close(results)
 	regs := map[string]uint32{}
 	for rv := range results {
 		regs[rv.name] = rv.val
 	}
-	return canonical(regs), nil
+	outcome := canonical(regs)
+	if rec != nil {
+		if err := rec.Err(); err != nil {
+			return outcome, rec.Exec, err
+		}
+		return outcome, rec.Exec, nil
+	}
+	return outcome, nil, nil
 }
 
 // observationCount returns how many register observations a run can send

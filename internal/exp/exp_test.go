@@ -23,7 +23,7 @@ func TestRegistryComplete(t *testing.T) {
 		"ablation-locks", "ablation-release", "ablation-scaling", "ablation-dcache", "ablation-granularity",
 		"ablation-explorer", "bulk-ablation", "mixed-ablation",
 		"ext-stencil", "ext-pc", "ext-scoped-fence", "ext-mesh", "ext-conformance",
-		"sweep-scaling", "sweep-clusters", "sweep-services", "fuzz",
+		"sweep-scaling", "sweep-clusters", "sweep-services", "fuzz", "spec-ablation",
 	}
 	for _, id := range want {
 		if _, ok := ByID(id); !ok {
@@ -242,5 +242,19 @@ func TestRunAllSmall(t *testing.T) {
 	}
 	if n := strings.Count(buf.String(), "=== "); n != len(All()) {
 		t.Fatalf("RunAll printed %d banners, want %d", n, len(All()))
+	}
+}
+
+// TestSpecAblation: the spec-ablation experiment shows platform-size
+// independence, the symmetry collapse, and the injected-fault detection
+// line, and exits clean at small scale.
+func TestSpecAblation(t *testing.T) {
+	out := small(t, "spec-ablation")
+	for _, want := range []string{
+		"work@32==work@1024", "iriw-sym3", "fault detection", "divergences",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("spec-ablation output lacks %q:\n%s", want, out)
+		}
 	}
 }

@@ -10,6 +10,7 @@ import (
 	"pmc/internal/litmus"
 	"pmc/internal/rt"
 	"pmc/internal/sim"
+	"pmc/internal/spec"
 	"pmc/internal/sweep"
 )
 
@@ -51,6 +52,14 @@ type Config struct {
 	// — the fault-injection hook (rt.InjectFaults) for proving the
 	// fuzzer catches real protocol bugs.
 	MakeBackend func(name string) (rt.Backend, error)
+	// SpecCheck additionally runs each unique (program, backend) pair
+	// once with the model recorder attached and attributes every edge of
+	// the lowered trace to the backend's declared ordering spec
+	// (spec.CheckTrace) — the differential fuzzer then hunts
+	// spec/implementation divergence, not just model violations. Ignored
+	// when MakeBackend is set: a substituted backend has no authored spec
+	// to check against.
+	SpecCheck bool
 	// Progress, if non-nil, receives one line per violation (emitted in
 	// campaign order after the parallel phase merges) and per shrink
 	// result. It is only written from the calling goroutine.
@@ -123,6 +132,18 @@ type RunError struct {
 	Err     string
 }
 
+// SpecDivergence is one (program, backend) pair whose recorded trace
+// contains edges the backend's declared ordering spec does not commit —
+// the implementation performs orderings its spec never promised, or the
+// spec is out of date.
+type SpecDivergence struct {
+	Seed    int64
+	Backend string
+	// Edges counts unattributable edges; First is the first one.
+	Edges int
+	First string
+}
+
 // Summary is the result of a fuzzing campaign.
 type Summary struct {
 	Seed     int64
@@ -141,13 +162,20 @@ type Summary struct {
 	SkippedBudget, SkippedStuck int
 	// Checked counts (program, backend) conformance checks completed.
 	Checked int
+	// SpecChecked counts (program, backend) recorded spec-trace checks
+	// completed (Config.SpecCheck).
+	SpecChecked int
 
-	Violations []*Violation
-	Errors     []RunError
+	Violations      []*Violation
+	Errors          []RunError
+	SpecDivergences []SpecDivergence
 }
 
-// Ok reports a clean campaign: no violations and no execution errors.
-func (s *Summary) Ok() bool { return len(s.Violations) == 0 && len(s.Errors) == 0 }
+// Ok reports a clean campaign: no violations, no execution errors, and no
+// spec divergences.
+func (s *Summary) Ok() bool {
+	return len(s.Violations) == 0 && len(s.Errors) == 0 && len(s.SpecDivergences) == 0
+}
 
 // String renders the campaign result.
 func (s *Summary) String() string {
@@ -166,6 +194,14 @@ func (s *Summary) String() string {
 	}
 	for _, e := range s.Errors {
 		fmt.Fprintf(&b, "  RUN ERROR seed %d on %s: %s\n", e.Seed, e.Backend, e.Err)
+	}
+	if s.SpecChecked > 0 || len(s.SpecDivergences) > 0 {
+		fmt.Fprintf(&b, "spec-checked %d recorded traces: %d divergences\n",
+			s.SpecChecked, len(s.SpecDivergences))
+		for _, d := range s.SpecDivergences {
+			fmt.Fprintf(&b, "  SPEC DIVERGENCE seed %d on %s: %d edges uncommitted, first: %s\n",
+				d.Seed, d.Backend, d.Edges, d.First)
+		}
 	}
 	return b.String()
 }
@@ -284,11 +320,13 @@ func Run(cfg Config) (*Summary, error) {
 	sum.Unique = len(progs)
 
 	type result struct {
-		skippedBudget bool
-		skippedStuck  bool
-		checked       int
-		violations    []*Violation
-		errors        []RunError
+		skippedBudget   bool
+		skippedStuck    bool
+		checked         int
+		specChecked     int
+		violations      []*Violation
+		errors          []RunError
+		specDivergences []SpecDivergence
 	}
 	results := make([]result, len(progs))
 	err := sweep.Each(len(progs), cfg.Workers, func(i int) error {
@@ -324,6 +362,18 @@ func Run(cfg Config) (*Summary, error) {
 				res.violations = append(res.violations,
 					&Violation{Seed: pr.seed, Backend: backend, Program: pr.prog, Report: rep})
 			}
+			if cfg.SpecCheck && cfg.MakeBackend == nil {
+				div, runErr, ok := specCheckOne(cfg, pr, backend)
+				switch {
+				case runErr != nil:
+					res.errors = append(res.errors, *runErr)
+				case ok:
+					res.specChecked++
+					if div != nil {
+						res.specDivergences = append(res.specDivergences, *div)
+					}
+				}
+			}
 		}
 		return nil
 	})
@@ -342,11 +392,17 @@ func Run(cfg Config) (*Summary, error) {
 			sum.SkippedStuck++
 		}
 		sum.Checked += res.checked
+		sum.SpecChecked += res.specChecked
 		sum.Violations = append(sum.Violations, res.violations...)
 		sum.Errors = append(sum.Errors, res.errors...)
+		sum.SpecDivergences = append(sum.SpecDivergences, res.specDivergences...)
 		if cfg.Progress != nil {
 			for _, v := range res.violations {
 				fmt.Fprintf(cfg.Progress, "fuzz: VIOLATION seed %d on %s: %s\n", v.Seed, v.Backend, v.Report)
+			}
+			for _, d := range res.specDivergences {
+				fmt.Fprintf(cfg.Progress, "fuzz: SPEC DIVERGENCE seed %d on %s: %d edges, first: %s\n",
+					d.Seed, d.Backend, d.Edges, d.First)
 			}
 		}
 	}
@@ -366,6 +422,49 @@ func Run(cfg Config) (*Summary, error) {
 		}
 	}
 	return sum, nil
+}
+
+// specCheckOne runs one recorded simulation of the pair and attributes
+// every trace edge to the backend's declared spec. A mixed run checks
+// against the union of the placed backends' specs plus nocc (the default
+// route) — any protocol may have committed any given edge. The bool
+// reports whether the check completed (a recorder violation surfaces as a
+// RunError instead: it is a model bug, already the conformance side's
+// department, not a spec-attribution result).
+func specCheckOne(cfg Config, pr program, backend string) (*SpecDivergence, *RunError, bool) {
+	var specs []spec.Spec
+	names := []string{backend}
+	if backend == conform.MixedBackend {
+		names = []string{"nocc"}
+		seen := map[string]bool{"nocc": true}
+		for _, loc := range pr.prog.Locs {
+			if pb := pr.prog.Placement[loc]; pb != "" && !seen[pb] {
+				seen[pb] = true
+				names = append(names, pb)
+			}
+		}
+	}
+	for _, n := range names {
+		s, err := spec.ForBackend(n)
+		if err != nil {
+			return nil, &RunError{Seed: pr.seed, Backend: backend, Err: err.Error()}, false
+		}
+		specs = append(specs, s)
+	}
+	eff := conform.EffectiveProgram(pr.prog)
+	_, exec, err := conform.ExecuteRecorded(eff, backend, conform.Options{
+		Tiles:     cfg.Tiles,
+		Runs:      1,
+		Seed:      pr.seed,
+		MaxCycles: cfg.MaxCycles,
+	}, uint32(pr.seed))
+	if err != nil {
+		return nil, &RunError{Seed: pr.seed, Backend: backend, Err: "spec check: " + err.Error()}, false
+	}
+	if probs := spec.CheckTrace(exec, specs...); len(probs) > 0 {
+		return &SpecDivergence{Seed: pr.seed, Backend: backend, Edges: len(probs), First: probs[0]}, nil, true
+	}
+	return nil, nil, true
 }
 
 // explore runs the model on the effective program with a state budget.

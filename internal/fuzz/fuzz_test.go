@@ -304,3 +304,27 @@ func TestCampaignReproducibleFromPrintedSeed(t *testing.T) {
 		t.Fatalf("seed %d did not reproduce the violation:\n%v\nvs\n%v", v.Seed, again.Violations, v.Report)
 	}
 }
+
+// TestCampaignSpecCheck: a seeded campaign with spec-trace checking on —
+// including mixed-routing programs, whose traces are attributed to the
+// union of the placed backends' specs — completes with every recorded
+// trace fully committed by the declared specs.
+func TestCampaignSpecCheck(t *testing.T) {
+	sum, err := Run(Config{
+		Seed: 11, N: 60, Gen: GenConfig{Mode: ModeMixed}, Runs: 1,
+		Backends:  []string{"swcc", "dsm", conform.MixedBackend},
+		SpecCheck: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sum.Ok() {
+		t.Fatalf("campaign not clean:\n%s", sum)
+	}
+	if sum.SpecChecked == 0 {
+		t.Fatal("SpecCheck ran no trace checks")
+	}
+	if sum.SpecChecked != sum.Checked {
+		t.Errorf("spec-checked %d of %d checked pairs", sum.SpecChecked, sum.Checked)
+	}
+}

@@ -74,7 +74,17 @@ type engine struct {
 	maxStates int64
 	states    atomic.Int64
 	budgetHit atomic.Bool
-	cache     sync.Map // fingerprint -> *cacheEntry
+	cache     sync.Map // fingerprint/canonical fingerprint -> *cacheEntry
+	// auts holds the program's non-identity automorphisms when symmetry
+	// reduction is on (empty = plain memoization). The memo table is then
+	// keyed by the orbit-canonical fingerprint and stores results in the
+	// canonical register frame (see symmetry.go).
+	auts []*autPerm
+	// claimed dedups expansion-phase state claims by canonical
+	// fingerprint in symmetry mode, so Result.States counts orbits
+	// identically for every worker count. Only touched from the
+	// single-threaded frontier-expansion loop.
+	claimed map[fingerprint]bool
 }
 
 // explore returns the subResult for s, consulting the memo table when
@@ -82,6 +92,9 @@ type engine struct {
 func (g *engine) explore(s *state) (*subResult, error) {
 	if !g.memoize {
 		return g.compute(s)
+	}
+	if len(g.auts) > 0 {
+		return g.exploreSym(s)
 	}
 	fp := g.x.fingerprint(s)
 	// Fast path: cache hits dominate once memoization kicks in, so probe
@@ -100,6 +113,60 @@ func (g *engine) explore(s *state) (*subResult, error) {
 	e.res, e.err = g.compute(s)
 	close(e.done)
 	return e.res, e.err
+}
+
+// canonicalFP returns the orbit-canonical fingerprint of s — the minimum
+// permuted fingerprint over the identity and every automorphism — plus
+// the permutation achieving it (nil when the identity frame wins).
+func (g *engine) canonicalFP(s *state) (fingerprint, *autPerm) {
+	best := g.x.fingerprint(s)
+	var bestPerm *autPerm
+	for _, p := range g.auts {
+		if fp := g.x.fingerprintPerm(s, p); fp.less(best) {
+			best, bestPerm = fp, p
+		}
+	}
+	return best, bestPerm
+}
+
+// exploreSym is explore under symmetry reduction: memo entries are keyed
+// by orbit and stored in the canonical register frame — the frame of the
+// achieving permutation — so a hit from any orbit member translates the
+// shared outcome map into its own frame. Each stored permutation is
+// individually a program automorphism, which is all translation needs;
+// the set need not be closed under composition.
+func (g *engine) exploreSym(s *state) (*subResult, error) {
+	fp, perm := g.canonicalFP(s)
+	if prev, ok := g.cache.Load(fp); ok {
+		return g.translated(prev.(*cacheEntry), perm)
+	}
+	e := &cacheEntry{done: make(chan struct{})}
+	if prev, loaded := g.cache.LoadOrStore(fp, e); loaded {
+		return g.translated(prev.(*cacheEntry), perm)
+	}
+	res, err := g.compute(s)
+	if err != nil {
+		e.err = err
+	} else if perm != nil {
+		e.res = g.x.translateSub(res, perm.regTo)
+	} else {
+		e.res = res
+	}
+	close(e.done)
+	return res, err
+}
+
+// translated waits for a memo entry and maps its canonical-frame result
+// back into the frame of the state that hit it.
+func (g *engine) translated(pe *cacheEntry, perm *autPerm) (*subResult, error) {
+	<-pe.done
+	if pe.err != nil {
+		return nil, pe.err
+	}
+	if perm == nil {
+		return pe.res, nil
+	}
+	return g.x.translateSub(pe.res, perm.regFrom), nil
 }
 
 // claimState takes one slot of the state budget, flipping budgetHit when
@@ -167,6 +234,30 @@ func (g *engine) compute(s *state) (*subResult, error) {
 	return res, nil
 }
 
+// claimFrontier claims the expansion-phase budget slot for a frontier
+// state. In symmetry mode a slot is taken once per orbit — matching the
+// sequential memoized count — and later orientations of an already
+// claimed orbit still expand (their successors carry distinct register
+// frames) but cost nothing. Frontier expansion happens before any
+// worker runs and every exploration step advances exactly one pc, so
+// expansion-phase orbits (shallower than the frontier) can never recur
+// inside a worker subtree: the claimed set and the memo table count
+// disjoint orbits. Returns false when the budget is exhausted.
+func (g *engine) claimFrontier(s *state) bool {
+	if len(g.auts) == 0 {
+		return g.claimState()
+	}
+	fp, _ := g.canonicalFP(s)
+	if g.claimed[fp] {
+		return true
+	}
+	if !g.claimState() {
+		return false
+	}
+	g.claimed[fp] = true
+	return true
+}
+
 // frontierEntry is one root of a parallel subtree; mult is the number of
 // distinct prefix paths that reached it (always 1 without memoization,
 // where duplicates stay separate entries).
@@ -192,7 +283,7 @@ func (g *engine) runParallel(root *state, workers int) (*subResult, error) {
 			nextIdx = make(map[fingerprint]int)
 		}
 		for _, en := range frontier {
-			if !g.claimState() {
+			if !g.claimFrontier(en.s) {
 				return res, nil
 			}
 			outcome, done, succs, err := g.expandState(en.s)

@@ -79,6 +79,16 @@ func growInts(s []int, n int) []int {
 
 // fingerprint computes the canonical hash of s.
 func (x *Explorer) fingerprint(s *state) fingerprint {
+	return x.fingerprintPerm(s, nil)
+}
+
+// fingerprintPerm computes the canonical hash of s as relabeled by
+// program automorphism p (nil = identity, the plain fingerprint). The
+// relabeled state is the one an execution of the permuted-and-renamed
+// program would have reached; since p maps the program onto itself,
+// fingerprintPerm(s, p) is exactly fingerprint(p(s)) for a state p(s)
+// of the same program — the basis of symmetry reduction (symmetry.go).
+func (x *Explorer) fingerprintPerm(s *state, p *autPerm) fingerprint {
 	sc, _ := x.fpPool.Get().(*fpScratch)
 	if sc == nil {
 		sc = &fpScratch{}
@@ -86,12 +96,17 @@ func (x *Explorer) fingerprint(s *state) fingerprint {
 	defer x.fpPool.Put(sc)
 
 	ops := s.exec.Ops()
+	numLocs := len(x.prog.Locs)
 	// canon[id] is the interleaving-invariant label of op id: init ops
 	// first (they are ops 0..NumLocs-1, identical in every state), then
 	// each thread's ops in program order. Within one process issue order
 	// IS program order, so a counting pass places every op without
 	// building per-process lists: count ops per process, turn the counts
 	// into slot offsets (init ops first), then assign slots in one sweep.
+	// Under a permutation the same pass runs in the permuted frame: an
+	// op of thread t lands in thread p.threads[t]'s slot range, and the
+	// init op of location l (op ID l, issued in AddLoc order) takes init
+	// slot p.locs[l].
 	canon := growInts(sc.canon, len(ops))
 	order := growInts(sc.order, len(ops))
 	counts := growInts(sc.counts, len(x.prog.Threads))
@@ -102,6 +117,8 @@ func (x *Explorer) fingerprint(s *state) fingerprint {
 	for _, op := range ops {
 		if op.Proc == core.InitProc {
 			numInit++
+		} else if p != nil {
+			counts[p.threads[op.Proc]]++
 		} else {
 			counts[op.Proc]++
 		}
@@ -116,8 +133,16 @@ func (x *Explorer) fingerprint(s *state) fingerprint {
 	for _, op := range ops {
 		var slot int
 		if op.Proc == core.InitProc {
-			slot = initIdx
-			initIdx++
+			if p != nil {
+				slot = p.locs[op.Loc]
+			} else {
+				slot = initIdx
+				initIdx++
+			}
+		} else if p != nil {
+			t := p.threads[op.Proc]
+			slot = counts[t]
+			counts[t]++
 		} else {
 			slot = counts[op.Proc]
 			counts[op.Proc]++
@@ -127,13 +152,22 @@ func (x *Explorer) fingerprint(s *state) fingerprint {
 	}
 
 	h := newFpHash()
-	// Ops in canonical order.
+	// Ops in canonical order, procs and locs relabeled.
 	h.mixInt(len(ops))
 	for _, id := range order {
 		op := ops[id]
 		h.mix(uint64(op.Kind))
-		h.mixInt(int(op.Proc))
-		h.mixInt(int(op.Loc))
+		proc, loc := int(op.Proc), int(op.Loc)
+		if p != nil {
+			if op.Proc != core.InitProc {
+				proc = p.threads[proc]
+			}
+			if loc >= 0 {
+				loc = p.locs[loc]
+			}
+		}
+		h.mixInt(proc)
+		h.mixInt(loc)
 		h.mix(uint64(op.Val))
 		if op.IsInit {
 			h.mix(1)
@@ -154,14 +188,33 @@ func (x *Explorer) fingerprint(s *state) fingerprint {
 	for _, e := range edges {
 		h.mix(e)
 	}
-	// Thread progress, lock holders, last-read views (relabeled), regs.
-	for _, pc := range s.pcs {
-		h.mixInt(pc)
+	// Thread progress, lock holders, last-read views (relabeled), regs —
+	// each walked in the permuted frame's index order.
+	for t := range s.pcs {
+		if p != nil {
+			h.mixInt(s.pcs[p.invT[t]])
+		} else {
+			h.mixInt(s.pcs[t])
+		}
 	}
-	for _, holder := range s.lockHolder {
+	for l := range s.lockHolder {
+		holder := s.lockHolder[l]
+		if p != nil {
+			holder = s.lockHolder[p.invL[l]]
+			if holder >= 0 {
+				holder = p.threads[holder]
+			}
+		}
 		h.mixInt(holder)
 	}
-	for _, id := range s.lastRead {
+	for i := range s.lastRead {
+		var id int
+		if p != nil {
+			t, l := i/numLocs, i%numLocs
+			id = s.lastRead[p.invT[t]*numLocs+p.invL[l]]
+		} else {
+			id = s.lastRead[i]
+		}
 		if id < 0 {
 			h.mixInt(-1)
 		} else {
@@ -170,10 +223,14 @@ func (x *Explorer) fingerprint(s *state) fingerprint {
 	}
 	// Registers: the file is indexed by regOrder slot, so position
 	// identifies the register and only presence and value need mixing.
-	for _, r := range s.regs {
-		if r.Set {
+	for r := range s.regs {
+		rv := s.regs[r]
+		if p != nil {
+			rv = s.regs[p.regFrom[r]]
+		}
+		if rv.Set {
 			h.mix(1)
-			h.mix(uint64(r.Val))
+			h.mix(uint64(rv.Val))
 		} else {
 			h.mix(0)
 		}

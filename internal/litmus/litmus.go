@@ -368,6 +368,14 @@ type Explorer struct {
 	// graph modulo issue-order relabeling) share one subtree, with
 	// path-counted outcomes matching plain tree enumeration exactly.
 	Memoize bool
+	// Symmetry additionally collapses states related by a program
+	// automorphism — a thread/location permutation mapping the program
+	// onto itself (symmetry.go) — so fully interchangeable threads cost
+	// one orbit instead of t! states. Outcomes, Stuck and per-outcome
+	// path counts are unchanged; only States shrinks. Requires Memoize;
+	// programs without non-trivial automorphisms run identically to
+	// plain memoization (modulo the canonicalization probe cost).
+	Symmetry bool
 }
 
 // NewExplorer prepares an exploration of p with the default engine
@@ -415,8 +423,9 @@ func (x *Explorer) validate() error {
 	return nil
 }
 
-// Run executes the exploration.
-func (x *Explorer) Run() (*Result, error) {
+// prepare lowers the program, builds the location and register indexes,
+// validates, and returns the root state.
+func (x *Explorer) prepare() (*state, error) {
 	// Wide locations and block instructions lower to per-word model
 	// operations first; word-granular programs pass through untouched.
 	x.prog = LowerWide(x.prog)
@@ -444,6 +453,9 @@ func (x *Explorer) Run() (*Result, error) {
 	for i, name := range x.regOrder {
 		x.regIdx[name] = i
 	}
+	if x.Symmetry && !x.Memoize {
+		return nil, fmt.Errorf("litmus %s: Symmetry requires Memoize (orbit results live in the memo table)", x.prog.Name)
+	}
 	s := &state{
 		exec:       exec,
 		pcs:        make([]int, len(x.prog.Threads)),
@@ -457,15 +469,25 @@ func (x *Explorer) Run() (*Result, error) {
 	for i := range s.lastRead {
 		s.lastRead[i] = -1
 	}
+	return s, nil
+}
+
+// Run executes the exploration.
+func (x *Explorer) Run() (*Result, error) {
+	s, err := x.prepare()
+	if err != nil {
+		return nil, err
+	}
 	workers := x.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	g := &engine{x: x, memoize: x.Memoize, maxStates: int64(x.MaxStates)}
-	var (
-		res *subResult
-		err error
-	)
+	if x.Symmetry {
+		g.auts = x.automorphisms()
+		g.claimed = make(map[fingerprint]bool)
+	}
+	var res *subResult
 	if workers == 1 {
 		res, err = g.explore(s)
 	} else {
@@ -600,7 +622,11 @@ func (x *Explorer) canonical(regs []regVal) string {
 		b.WriteString(strconv.FormatUint(uint64(r.Val), 10))
 	}
 	if b.Len() == 0 {
-		return "(no observations)"
+		return noObservations
 	}
 	return b.String()
 }
+
+// noObservations is the canonical outcome of a program with no observed
+// registers.
+const noObservations = "(no observations)"

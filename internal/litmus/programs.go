@@ -209,6 +209,31 @@ func IRIW() Program {
 	}
 }
 
+// IRIWSym3 is iriw with three fully interchangeable readers: two writers
+// to independent locations and three readers scanning them in the same
+// order. Any permutation of the readers (with the induced register
+// renaming) maps the program onto itself, so its automorphism group is
+// S_3 on the readers, order 3! — the showcase for symmetry-reduced
+// exploration, which explores one representative per orbit and collapses
+// the state count by up to the group order while the outcome set (every
+// combination of 0/1 observations, since nothing synchronizes) and the
+// per-outcome path counts stay identical. Classic iriw's opposite-order
+// readers only admit the combined writer+reader+location swap (group
+// order 2), which is why the t!-class win needs same-direction readers.
+func IRIWSym3() Program {
+	return Program{
+		Name: "iriw-sym3",
+		Locs: []string{"X", "Y"},
+		Threads: []Thread{
+			{Write("X", 1)},
+			{Write("Y", 1)},
+			{Read("X", "a1"), Read("Y", "a2")},
+			{Read("X", "b1"), Read("Y", "b2")},
+			{Read("X", "c1"), Read("Y", "c2")},
+		},
+	}
+}
+
 // WRCDRF is write-to-read causality with full annotations: T0 publishes X,
 // T1 observes it and publishes Y, T2 observes Y and must then see X. The
 // flushes carry no ordering; they give the polls liveness on backends with
@@ -363,6 +388,7 @@ func Catalog() []Program {
 		LoadBuffering(),
 		IRIW(),
 		IRIW3(),
+		IRIWSym3(),
 		WRCDRF(),
 		StressIndependent(),
 		MPBlock(),

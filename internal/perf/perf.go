@@ -67,6 +67,10 @@ type LitmusBench struct {
 	Memoize bool `json:"memoize"`
 	// MaxStates overrides the state budget (0 = explorer default).
 	MaxStates int `json:"max_states,omitempty"`
+	// Symmetry collapses automorphism-related states (requires Memoize);
+	// outcomes and paths are unchanged, states shrinks by the orbit
+	// factor.
+	Symmetry bool `json:"symmetry,omitempty"`
 }
 
 // FuzzBench measures the throughput of a seeded differential fuzzing
@@ -402,6 +406,7 @@ func runLitmus(lb *LitmusBench) ([]Metric, error) {
 	x := litmus.NewExplorer(prog)
 	x.Workers = lb.Workers
 	x.Memoize = lb.Memoize
+	x.Symmetry = lb.Symmetry
 	if lb.MaxStates > 0 {
 		x.MaxStates = lb.MaxStates
 	}

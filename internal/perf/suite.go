@@ -20,6 +20,10 @@ func lit(name, prog string, workers int, memoize bool) Entry {
 	return Entry{Name: name, Litmus: &LitmusBench{Prog: prog, Workers: workers, Memoize: memoize}}
 }
 
+func litSym(name, prog string, workers int) Entry {
+	return Entry{Name: name, Litmus: &LitmusBench{Prog: prog, Workers: workers, Memoize: true, Symmetry: true}}
+}
+
 func ciSuite() []Entry {
 	var es []Entry
 	// Sim: the Fig. 8 SPLASH substitutes on the coherence backends, the
@@ -61,6 +65,14 @@ func ciSuite() []Entry {
 		lit("litmus/sb-drf/par", "sb-drf", 0, true),
 		lit("litmus/fig5-annotated/memo", "fig5-annotated", 1, true),
 		lit("litmus/stress-independent/par", "stress-independent", 0, true),
+	)
+	// Symmetry reduction on the iriw-class programs: states is the exact
+	// orbit-collapsed count, outcomes/paths gate that the reduction stays
+	// semantics-preserving.
+	es = append(es,
+		lit("litmus/iriw-sym3/memo", "iriw-sym3", 1, true),
+		litSym("litmus/iriw-sym3/sym", "iriw-sym3", 1),
+		litSym("litmus/iriw/sym", "iriw", 1),
 	)
 	// Adaptive routing: the migrating backend on a migratory app and a
 	// streaming app — the sim-cycles pin both the policy's decisions and
@@ -118,6 +130,11 @@ func fullSuite() []Entry {
 		lit("litmus/wrc-drf/par", "wrc-drf", 0, true),
 		lit("litmus/iriw-3t/memo", "iriw-3t", 1, true),
 		lit("litmus/stress-independent/par", "stress-independent", 0, true),
+	)
+	es = append(es,
+		lit("litmus/iriw-sym3/memo", "iriw-sym3", 1, true),
+		litSym("litmus/iriw-sym3/sym", "iriw-sym3", 0),
+		litSym("litmus/iriw/sym", "iriw", 0),
 	)
 	es = append(es,
 		simE("sim/raytrace/adaptive/32t", "raytrace", "adaptive", 32, "", false),

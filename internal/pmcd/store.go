@@ -8,6 +8,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // The result store is two-tiered: a bounded in-memory LRU in front of a
@@ -149,6 +150,95 @@ func (s *Store) promote(key string, body []byte) {
 		s.lru.Remove(oldest)
 		delete(s.entries, oldest.Value.(*storeEntry).key)
 	}
+}
+
+// GCStats summarizes one GC pass over the disk tier.
+type GCStats struct {
+	// Scanned counts stored bodies examined; Purged of those were older
+	// than the age bound and removed, Kept remain. Bytes is the disk
+	// space reclaimed by the purge.
+	Scanned int   `json:"scanned"`
+	Purged  int   `json:"purged"`
+	Kept    int   `json:"kept"`
+	Bytes   int64 `json:"bytes"`
+}
+
+func (g GCStats) String() string {
+	return fmt.Sprintf("scanned %d, purged %d (%d bytes), kept %d", g.Scanned, g.Purged, g.Bytes, g.Kept)
+}
+
+// GC removes disk-tier bodies whose last write is older than maxAge and
+// purges them from the memory tier, returning what it did. Content
+// addressing makes age the only sensible policy: a body never goes
+// stale, so GC is purely a disk-capacity bound for long-lived caches
+// (the CI actions/cache, a developer's ~/.cache). Removals are
+// independent atomic deletes — a GC racing a Put of the same key at
+// worst deletes the body the Put immediately re-creates, never tears
+// it. Leftover temp files from crashed writers past the age bound are
+// swept too (they are never counted as stored bodies). Memory-only
+// stores have nothing on disk; GC is a no-op there.
+func (s *Store) GC(maxAge time.Duration) (GCStats, error) {
+	var g GCStats
+	if s.dir == "" {
+		return g, nil
+	}
+	cutoff := time.Now().Add(-maxAge)
+	shards, err := os.ReadDir(s.dir)
+	if err != nil {
+		return g, fmt.Errorf("pmcd: store gc: %w", err)
+	}
+	for _, shard := range shards {
+		if !shard.IsDir() {
+			continue
+		}
+		shardDir := filepath.Join(s.dir, shard.Name())
+		files, err := os.ReadDir(shardDir)
+		if err != nil {
+			return g, fmt.Errorf("pmcd: store gc: %w", err)
+		}
+		for _, f := range files {
+			if f.IsDir() {
+				continue
+			}
+			path := filepath.Join(shardDir, f.Name())
+			info, err := f.Info()
+			if err != nil {
+				if os.IsNotExist(err) {
+					continue // raced with another GC
+				}
+				return g, fmt.Errorf("pmcd: store gc: %w", err)
+			}
+			key, isBody := strings.CutSuffix(f.Name(), ".json")
+			if !isBody || validKey(key) != nil {
+				// A crashed writer's temp file: sweep it once it is
+				// certainly not being renamed into place anymore.
+				if info.ModTime().Before(cutoff) {
+					os.Remove(path)
+				}
+				continue
+			}
+			g.Scanned++
+			if !info.ModTime().Before(cutoff) {
+				g.Kept++
+				continue
+			}
+			if err := os.Remove(path); err != nil && !os.IsNotExist(err) {
+				return g, fmt.Errorf("pmcd: store gc: %w", err)
+			}
+			g.Purged++
+			g.Bytes += info.Size()
+			s.mu.Lock()
+			if el, ok := s.entries[key]; ok {
+				s.lru.Remove(el)
+				delete(s.entries, key)
+			}
+			s.mu.Unlock()
+		}
+		// An emptied shard directory is recreated by the next Put; a
+		// non-empty one makes Remove fail, which is the desired check.
+		os.Remove(shardDir)
+	}
+	return g, nil
 }
 
 // Stats snapshots the counters.

@@ -3,10 +3,13 @@ package pmcd
 import (
 	"bytes"
 	"fmt"
+	"os"
+	"path/filepath"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 // hexKey returns a distinct valid store key per index.
@@ -106,6 +109,93 @@ func TestStoreRejectsNonFingerprintKeys(t *testing.T) {
 		if err := s.Put(key, []byte("x")); err == nil {
 			t.Errorf("Put accepted non-fingerprint key %q", key)
 		}
+	}
+}
+
+// TestStoreGC: entries past the age bound are removed from disk AND
+// from the memory tier (a purged key must be a miss, not a stale mem
+// hit), newer entries and the counters survive, and crashed-writer temp
+// files are swept. Ages are simulated by backdating mtimes.
+func TestStoreGC(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := time.Now().Add(-48 * time.Hour)
+	var oldBytes int64
+	for i := 0; i < 5; i++ {
+		body := []byte(fmt.Sprintf(`{"v":%d}`, i))
+		if err := s.Put(hexKey(i), body); err != nil {
+			t.Fatal(err)
+		}
+		if i < 3 { // first three are "two days old"
+			if err := os.Chtimes(s.path(hexKey(i)), old, old); err != nil {
+				t.Fatal(err)
+			}
+			oldBytes += int64(len(body))
+		}
+	}
+	// A torn temp file from a crashed writer, also old.
+	tmp := filepath.Join(dir, hexKey(0)[:2], "."+hexKey(0)[:8]+".tmp123")
+	if err := os.WriteFile(tmp, []byte("torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chtimes(tmp, old, old); err != nil {
+		t.Fatal(err)
+	}
+
+	g, err := s.GC(24 * time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := GCStats{Scanned: 5, Purged: 3, Kept: 2, Bytes: oldBytes}
+	if g != want {
+		t.Fatalf("GC stats %+v, want %+v", g, want)
+	}
+	if _, err := os.Stat(tmp); !os.IsNotExist(err) {
+		t.Fatalf("stale temp file survived GC: %v", err)
+	}
+	// Purged keys are gone from both tiers; kept keys still serve.
+	for i := 0; i < 5; i++ {
+		_, ok, err := s.Get(hexKey(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if wantOK := i >= 3; ok != wantOK {
+			t.Errorf("after GC, Get(%d) ok=%v, want %v", i, ok, wantOK)
+		}
+	}
+	if st := s.Stats(); st.MemEntries != 2 {
+		t.Fatalf("memory tier holds %d entries after GC, want 2 (%+v)", st.MemEntries, st)
+	}
+	// A second pass finds nothing to do.
+	if g, err := s.GC(24 * time.Hour); err != nil || g.Purged != 0 || g.Kept != 2 {
+		t.Fatalf("second GC pass: %+v err=%v", g, err)
+	}
+	// Purged keys are recomputable: a fresh Put brings one back.
+	if err := s.Put(hexKey(0), []byte("again")); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := s.Get(hexKey(0)); !ok {
+		t.Fatal("re-Put after GC not served")
+	}
+}
+
+func TestStoreGCMemoryOnlyNoop(t *testing.T) {
+	s, err := Open("", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(hexKey(1), []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	g, err := s.GC(0)
+	if err != nil || g != (GCStats{}) {
+		t.Fatalf("memory-only GC: %+v err=%v", g, err)
+	}
+	if _, ok, _ := s.Get(hexKey(1)); !ok {
+		t.Fatal("memory-only GC dropped a live entry")
 	}
 }
 

@@ -54,6 +54,7 @@ import (
 	"pmc/internal/rt"
 	"pmc/internal/sim"
 	"pmc/internal/soc"
+	"pmc/internal/spec"
 	"pmc/internal/stats"
 	"pmc/internal/sweep"
 	"pmc/internal/trace"
@@ -222,6 +223,58 @@ func InjectFaults(b Backend, f FaultSet) Backend { return rt.InjectFaults(b, f) 
 
 // ParseFaultSet parses a "+"-separated fault list (see rt.FaultSet).
 func ParseFaultSet(s string) (FaultSet, error) { return rt.ParseFaultSet(s) }
+
+// ---- Compositional ordering specs ----
+
+type (
+	// OrderingSpec is one backend's declarative ordering specification:
+	// which Table I edges each of its protocol steps commits, as data.
+	OrderingSpec = spec.Spec
+	// SpecStep names one protocol mechanism of a backend implementation.
+	SpecStep = spec.Step
+	// SpecObligation is one Table I cell a conforming backend must commit.
+	SpecObligation = spec.Obligation
+	// SpecPlatform names the deployment a conformance result certifies;
+	// the check's work never depends on it.
+	SpecPlatform = spec.Platform
+	// SpecCheckOptions configures SpecCheckBackend.
+	SpecCheckOptions = spec.CheckOptions
+	// SpecResult is the outcome of checking one backend against its spec.
+	SpecResult = spec.Result
+	// SpecDivergence is one way a backend (or its spec) departed from the
+	// model.
+	SpecDivergence = spec.Divergence
+)
+
+// SpecForBackend returns the authored ordering spec of a backend.
+func SpecForBackend(name string) (OrderingSpec, error) { return spec.ForBackend(name) }
+
+// AllSpecs returns the authored specs of every selectable backend.
+func AllSpecs() []OrderingSpec { return spec.All() }
+
+// SpecVsModel checks a spec against Table I (sound and complete); it
+// returns one problem per defect.
+func SpecVsModel(s *OrderingSpec) []string { return spec.VsModel(s) }
+
+// SpecCheckBackend drives the backend at fixed interface scale against
+// its spec — the compositional half of backend-vs-model conformance,
+// with cost independent of the platform size being certified.
+func SpecCheckBackend(s OrderingSpec, platform SpecPlatform, opt SpecCheckOptions) (*SpecResult, error) {
+	return spec.CheckBackend(s, platform, opt)
+}
+
+// SpecCheckTrace attributes every edge of a recorded execution to an
+// obligation committed by at least one of the given specs.
+func SpecCheckTrace(exec *Execution, specs ...OrderingSpec) []string {
+	return spec.CheckTrace(exec, specs...)
+}
+
+// SpecFaultFor maps a protocol step to the injectable fault that
+// disables it, when the fault harness models one.
+func SpecFaultFor(st SpecStep) (FaultSet, bool) { return spec.FaultFor(st) }
+
+// SpecInterfacePrograms is the default litmus matrix of the spec checker.
+func SpecInterfacePrograms() []LitmusProgram { return spec.InterfacePrograms() }
 
 // ---- Simulated system (Section V-B) ----
 
@@ -536,6 +589,8 @@ type (
 	PmcdStore = pmcd.Store
 	// PmcdStoreStats are the store's hit/miss counters.
 	PmcdStoreStats = pmcd.StoreStats
+	// PmcdGCStats summarizes one Store.GC pass over the disk tier.
+	PmcdGCStats = pmcd.GCStats
 	// BenchCacheStats counts cache effectiveness of a cache-backed
 	// benchmark run.
 	BenchCacheStats = pmcd.BenchCacheStats
